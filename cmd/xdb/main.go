@@ -1,0 +1,358 @@
+// Command xdb is a small interactive shell over the XML database
+// substrate: load or generate documents, create real indexes, run
+// XQuery/SQL-XML queries, and invoke the two EXPLAIN modes the advisor
+// relies on. It is the "visual client" of the demonstration, rendered as
+// a REPL.
+//
+//	xdb                          # interactive
+//	xdb -c 'gen xmark 200 1; enumerate for $i in collection("auction")/site/regions/namerica/item where $i/quantity > 5 return $i/name'
+//
+// Commands:
+//
+//	gen xmark <docs> <seed> | gen tpox <securities> <seed>
+//	load <collection> <dir>
+//	ls
+//	stats <collection> [n]
+//	create <name> <collection> <pattern> <type>
+//	drop <name>
+//	query <query text>
+//	explain <query text>
+//	enumerate <query text>
+//	evaluate <pattern>:<type>[,<pattern>:<type>...] :: <query text>
+//	help | quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/executor"
+	"repro/internal/optimizer"
+	"repro/internal/pattern"
+	"repro/internal/querylang"
+	"repro/internal/sqltype"
+	"repro/internal/store"
+)
+
+type shell struct {
+	st  *store.Store
+	cat *catalog.Catalog
+	opt *optimizer.Optimizer
+	ex  *executor.Executor
+	out *bufio.Writer
+}
+
+func main() {
+	cmds := flag.String("c", "", "semicolon-separated commands to run non-interactively")
+	flag.Parse()
+
+	sh := newShell()
+	defer sh.out.Flush()
+	if *cmds != "" {
+		for _, c := range strings.Split(*cmds, ";") {
+			if err := sh.run(strings.TrimSpace(c)); err != nil {
+				fmt.Fprintln(os.Stderr, "xdb:", err)
+				sh.out.Flush()
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	fmt.Fprintln(sh.out, "xdb shell — 'help' for commands")
+	sh.out.Flush()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(sh.out, "xdb> ")
+		sh.out.Flush()
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if line == "" {
+			continue
+		}
+		if err := sh.run(line); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+		}
+		sh.out.Flush()
+	}
+}
+
+func newShell() *shell {
+	st := store.New()
+	cat := catalog.New(st)
+	return &shell{
+		st:  st,
+		cat: cat,
+		opt: optimizer.New(cat),
+		ex:  executor.New(cat),
+		out: bufio.NewWriter(os.Stdout),
+	}
+}
+
+func (s *shell) run(line string) error {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch cmd {
+	case "help":
+		fmt.Fprintln(s.out, "commands: gen, load, ls, stats, create, drop, query, explain, enumerate, evaluate, quit")
+		return nil
+	case "gen":
+		return s.cmdGen(rest)
+	case "load":
+		return s.cmdLoad(rest)
+	case "ls":
+		return s.cmdLs()
+	case "stats":
+		return s.cmdStats(rest)
+	case "create":
+		return s.cmdCreate(rest)
+	case "drop":
+		if !s.cat.DropIndex(rest) {
+			return fmt.Errorf("no index %q", rest)
+		}
+		fmt.Fprintf(s.out, "dropped %s\n", rest)
+		return nil
+	case "query":
+		return s.cmdQuery(rest, true)
+	case "explain":
+		return s.cmdQuery(rest, false)
+	case "enumerate":
+		return s.cmdEnumerate(rest)
+	case "evaluate":
+		return s.cmdEvaluate(rest)
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func (s *shell) cmdGen(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return fmt.Errorf("usage: gen xmark <docs> <seed> | gen tpox <securities> <seed>")
+	}
+	n, seed := 200, int64(1)
+	if len(fields) > 1 {
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		n = v
+	}
+	if len(fields) > 2 {
+		v, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return err
+		}
+		seed = v
+	}
+	switch fields[0] {
+	case "xmark":
+		col, err := datagen.GenerateXMark(s.st, datagen.XMarkConfig{Docs: n, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "generated %d documents into %s\n", col.Len(), col.Name())
+	case "tpox":
+		if err := datagen.GenerateTPoX(s.st, datagen.TPoXConfig{Securities: n, Seed: seed}); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "generated tpox collections: security=%d order=%d custacc=%d\n",
+			s.st.Get("security").Len(), s.st.Get("order").Len(), s.st.Get("custacc").Len())
+	default:
+		return fmt.Errorf("unknown generator %q", fields[0])
+	}
+	return nil
+}
+
+func (s *shell) cmdLoad(rest string) error {
+	coll, dir, ok := strings.Cut(rest, " ")
+	if !ok {
+		return fmt.Errorf("usage: load <collection> <dir>")
+	}
+	col := s.st.Get(coll)
+	if col == nil {
+		var err error
+		if col, err = s.st.Create(coll); err != nil {
+			return err
+		}
+	}
+	entries, err := os.ReadDir(strings.TrimSpace(dir))
+	if err != nil {
+		return err
+	}
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(strings.TrimSpace(dir), e.Name()))
+		if err != nil {
+			return err
+		}
+		if _, err := col.InsertXML(string(data)); err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		loaded++
+	}
+	fmt.Fprintf(s.out, "loaded %d documents into %s\n", loaded, coll)
+	return nil
+}
+
+func (s *shell) cmdLs() error {
+	for _, name := range s.st.Names() {
+		col := s.st.Get(name)
+		fmt.Fprintf(s.out, "collection %-12s %6d docs %8d nodes %6d pages\n",
+			name, col.Len(), col.NodeCount(), col.Pages())
+	}
+	for _, def := range s.cat.Indexes("") {
+		fmt.Fprintf(s.out, "index %s\n", def)
+	}
+	return nil
+}
+
+func (s *shell) cmdStats(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return fmt.Errorf("usage: stats <collection> [n]")
+	}
+	limit := 15
+	if len(fields) > 1 {
+		if v, err := strconv.Atoi(fields[1]); err == nil {
+			limit = v
+		}
+	}
+	st, err := s.cat.Stats(fields[0])
+	if err != nil {
+		return err
+	}
+	type row struct {
+		path  string
+		count int64
+	}
+	var rows []row
+	for p, ps := range st.Paths {
+		rows = append(rows, row{p, ps.Count})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].path < rows[j].path
+	})
+	fmt.Fprintf(s.out, "%s: %d docs, %d nodes, %d distinct paths\n", fields[0], st.Docs, st.Nodes, len(st.Paths))
+	for i, r := range rows {
+		if i >= limit {
+			break
+		}
+		fmt.Fprintf(s.out, "  %8d  %s\n", r.count, r.path)
+	}
+	return nil
+}
+
+func (s *shell) cmdCreate(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) != 4 {
+		return fmt.Errorf("usage: create <name> <collection> <pattern> <type>")
+	}
+	p, err := pattern.Parse(fields[2])
+	if err != nil {
+		return err
+	}
+	ty, err := sqltype.ParseType(fields[3])
+	if err != nil {
+		return err
+	}
+	def, err := s.cat.CreateIndex(fields[0], fields[1], p, ty)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "created %s\n", def)
+	return nil
+}
+
+func (s *shell) cmdQuery(text string, exec bool) error {
+	q, err := querylang.ParseAuto(text)
+	if err != nil {
+		return err
+	}
+	plan, err := s.opt.Optimize(q, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "plan: %s\n", plan.Describe())
+	if !exec {
+		return nil
+	}
+	res, err := s.ex.Run(q, plan)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "rows: %d  (scanned %d docs, fetched %d, visited %d nodes, %v)\n",
+		res.Rows, res.Metrics.DocsScanned, res.Metrics.DocsFetched,
+		res.Metrics.NodesVisited, res.Metrics.Duration)
+	return nil
+}
+
+func (s *shell) cmdEnumerate(text string) error {
+	q, err := querylang.ParseAuto(text)
+	if err != nil {
+		return err
+	}
+	rep, err := s.opt.ExplainEnumerate(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, rep)
+	return nil
+}
+
+// cmdEvaluate parses "<pattern>:<type>[,...] :: <query>".
+func (s *shell) cmdEvaluate(rest string) error {
+	cfgStr, qStr, ok := strings.Cut(rest, "::")
+	if !ok {
+		return fmt.Errorf("usage: evaluate <pattern>:<type>[,...] :: <query>")
+	}
+	q, err := querylang.ParseAuto(strings.TrimSpace(qStr))
+	if err != nil {
+		return err
+	}
+	st, err := s.cat.Stats(q.Collection)
+	if err != nil {
+		return err
+	}
+	var defs []*catalog.IndexDef
+	for i, item := range strings.Split(strings.TrimSpace(cfgStr), ",") {
+		patStr, tyStr, ok := strings.Cut(strings.TrimSpace(item), ":")
+		if !ok {
+			return fmt.Errorf("config item %q: want <pattern>:<type>", item)
+		}
+		p, err := pattern.Parse(strings.TrimSpace(patStr))
+		if err != nil {
+			return err
+		}
+		ty, err := sqltype.ParseType(tyStr)
+		if err != nil {
+			return err
+		}
+		defs = append(defs, catalog.VirtualDef(fmt.Sprintf("V%d", i+1), q.Collection, p, ty, st))
+	}
+	rep, err := s.opt.ExplainEvaluate(q, defs, false)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, rep)
+	return nil
+}

@@ -1,0 +1,84 @@
+// Command xgen generates the benchmark databases and workload files used
+// by the xdb and xia tools.
+//
+//	xgen -out data -kind xmark -docs 500 -queries 20 -seed 7
+//	xgen -out data -kind tpox  -securities 100 -queries 20 -seed 7
+//
+// Documents are written one file per document under <out>/<collection>/;
+// the workload is written to <out>/<kind>.workload in the format of
+// internal/workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/datagen"
+	"repro/internal/store"
+	"repro/internal/workload"
+	"repro/internal/xmldoc"
+)
+
+func main() {
+	out := flag.String("out", "data", "output directory")
+	kind := flag.String("kind", "xmark", "xmark or tpox")
+	docs := flag.Int("docs", 300, "xmark: number of documents")
+	securities := flag.Int("securities", 60, "tpox: number of securities")
+	queries := flag.Int("queries", 20, "workload queries to generate")
+	updates := flag.Float64("updates", 0, "update weight to add to the workload")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	st := store.New()
+	var w *workload.Workload
+	switch *kind {
+	case "xmark":
+		if _, err := datagen.GenerateXMark(st, datagen.XMarkConfig{Docs: *docs, Seed: *seed}); err != nil {
+			fatal(err)
+		}
+		w = datagen.XMarkWorkload(*queries, *seed)
+		if *updates > 0 {
+			datagen.XMarkUpdates(w, *updates, *seed)
+		}
+	case "tpox":
+		if err := datagen.GenerateTPoX(st, datagen.TPoXConfig{Securities: *securities, Seed: *seed}); err != nil {
+			fatal(err)
+		}
+		w = datagen.TPoXWorkload(*queries, *seed, *securities)
+		if *updates > 0 {
+			datagen.TPoXUpdates(w, *updates, *seed, *securities)
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	written := 0
+	for _, name := range st.Names() {
+		col := st.Get(name)
+		dir := filepath.Join(*out, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		col.Each(func(d *xmldoc.Document) bool {
+			path := filepath.Join(dir, fmt.Sprintf("%s_%06d.xml", name, d.ID))
+			if err := os.WriteFile(path, []byte(d.Serialize()), 0o644); err != nil {
+				fatal(err)
+			}
+			written++
+			return true
+		})
+	}
+	wpath := filepath.Join(*out, *kind+".workload")
+	if err := os.WriteFile(wpath, []byte(w.Format()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d documents under %s and workload %s (%d queries, %d updates)\n",
+		written, *out, wpath, len(w.Queries), len(w.Updates))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xgen:", err)
+	os.Exit(1)
+}

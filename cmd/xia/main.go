@@ -1,0 +1,196 @@
+// Command xia is the XML Index Advisor CLI: given a database (generated
+// or loaded from a directory of XML files) and a workload file, it
+// recommends an index configuration under a disk budget and prints the
+// recommendation analysis.
+//
+//	xia -gen xmark:500:1 -workload data/xmark.workload -budget-kb 256 -search topdown
+//	xia -load auction=data/auction -workload data/xmark.workload -dag -trace
+//
+// The -materialize flag additionally builds the recommended indexes and
+// reruns the workload to report actual execution times (the demo's final
+// step).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/executor"
+	"repro/internal/optimizer"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func main() {
+	gen := flag.String("gen", "", "generate data: xmark:<docs>:<seed> or tpox:<securities>:<seed>")
+	load := flag.String("load", "", "load data: <collection>=<dir>[,<collection>=<dir>...]")
+	wpath := flag.String("workload", "", "workload file (required)")
+	budgetKB := flag.Int64("budget-kb", 0, "disk budget in KB (0 = unlimited)")
+	searchName := flag.String("search", "greedy", "search: greedy | topdown | greedy-basic")
+	noGen := flag.Bool("no-generalize", false, "disable candidate generalization")
+	showDAG := flag.Bool("dag", false, "print the candidate DAG")
+	showTrace := flag.Bool("trace", false, "print the search trace")
+	materialize := flag.Bool("materialize", false, "build recommended indexes and report actual execution times")
+	flag.Parse()
+
+	if *wpath == "" {
+		fmt.Fprintln(os.Stderr, "xia: -workload is required")
+		os.Exit(2)
+	}
+	st := store.New()
+	if err := setupData(st, *gen, *load); err != nil {
+		fatal(err)
+	}
+	text, err := os.ReadFile(*wpath)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := workload.Parse(filepath.Base(*wpath), string(text))
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Generalize = !*noGen
+	if opts.Search, err = core.ParseSearchKind(*searchName); err != nil {
+		fatal(err)
+	}
+	if *budgetKB > 0 {
+		opts.DiskBudgetPages = (*budgetKB * 1024) / store.DefaultPageSize
+		if opts.DiskBudgetPages < 1 {
+			opts.DiskBudgetPages = 1
+		}
+	}
+	cat := catalog.New(st)
+	adv := core.New(cat, opts)
+	rec, err := adv.Recommend(w)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rec.Report())
+	if *showDAG {
+		fmt.Println()
+		fmt.Print(rec.DAG.Render())
+	}
+	if *showTrace {
+		fmt.Println("\nsearch trace:")
+		for _, line := range rec.Trace {
+			fmt.Println("  " + line)
+		}
+	}
+	if *materialize {
+		if err := runMaterialized(cat, adv, rec, w); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func setupData(st *store.Store, gen, load string) error {
+	if gen == "" && load == "" {
+		return fmt.Errorf("one of -gen or -load is required")
+	}
+	if gen != "" {
+		parts := strings.Split(gen, ":")
+		kind := parts[0]
+		n, seed := 300, int64(1)
+		if len(parts) > 1 {
+			v, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return fmt.Errorf("bad -gen count: %v", err)
+			}
+			n = v
+		}
+		if len(parts) > 2 {
+			v, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad -gen seed: %v", err)
+			}
+			seed = v
+		}
+		switch kind {
+		case "xmark":
+			if _, err := datagen.GenerateXMark(st, datagen.XMarkConfig{Docs: n, Seed: seed}); err != nil {
+				return err
+			}
+		case "tpox":
+			if err := datagen.GenerateTPoX(st, datagen.TPoXConfig{Securities: n, Seed: seed}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown generator %q", kind)
+		}
+	}
+	if load != "" {
+		for _, spec := range strings.Split(load, ",") {
+			coll, dir, ok := strings.Cut(spec, "=")
+			if !ok {
+				return fmt.Errorf("bad -load spec %q", spec)
+			}
+			col := st.Get(coll)
+			if col == nil {
+				var err error
+				if col, err = st.Create(coll); err != nil {
+					return err
+				}
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") {
+					continue
+				}
+				data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+				if err != nil {
+					return err
+				}
+				if _, err := col.InsertXML(string(data)); err != nil {
+					return fmt.Errorf("%s: %w", e.Name(), err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func runMaterialized(cat *catalog.Catalog, adv *core.Advisor, rec *core.Recommendation, w *workload.Workload) error {
+	names, err := adv.Materialize(rec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmaterialized %d indexes: %s\n", len(names), strings.Join(names, ", "))
+	opt := optimizer.New(cat)
+	ex := executor.New(cat)
+	fmt.Printf("%-6s %8s %12s %12s %8s\n", "query", "rows", "scan", "indexed", "speedup")
+	for _, e := range w.Queries {
+		scan, err := ex.Run(e.Query, nil)
+		if err != nil {
+			return err
+		}
+		plan, err := opt.Optimize(e.Query, nil)
+		if err != nil {
+			return err
+		}
+		idx, err := ex.Run(e.Query, plan)
+		if err != nil {
+			return err
+		}
+		su := float64(scan.Metrics.Duration.Microseconds()+1) / float64(idx.Metrics.Duration.Microseconds()+1)
+		fmt.Printf("%-6s %8d %12v %12v %7.1fx\n",
+			e.Query.ID, scan.Rows, scan.Metrics.Duration, idx.Metrics.Duration, su)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xia:", err)
+	os.Exit(1)
+}

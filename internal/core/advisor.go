@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/workload"
+)
+
+// Options configure the advisor.
+type Options struct {
+	// DiskBudgetPages bounds the total size of the recommended
+	// configuration; 0 means unlimited.
+	DiskBudgetPages int64
+	// Search selects the configuration search algorithm.
+	Search SearchKind
+	// Generalize enables the candidate generalization phase (§2.2).
+	Generalize bool
+	// MinSharedSteps is the minimum number of shared concrete steps two
+	// patterns need before pairwise generalization applies.
+	MinSharedSteps int
+	// MaxCandidates caps the expanded candidate set.
+	MaxCandidates int
+	// InteractionAware makes greedy search re-evaluate configurations
+	// each round instead of trusting standalone benefits (§2.3 "index
+	// interaction").
+	InteractionAware bool
+	// Enumeration selects optimizer-coupled or syntactic candidate
+	// enumeration (the coupling ablation).
+	Enumeration EnumerationMode
+	// IncludeUniversal adds the universal patterns (//* and //@*) as DAG
+	// roots, the most general indexes possible. They are usually far too
+	// large to recommend, but give top-down search the full root-to-leaf
+	// range the paper describes.
+	IncludeUniversal bool
+	// RelaxAxes enables the optional axis-relaxation rule: each child
+	// step of a candidate also generalizes to a descendant step
+	// (/a/b -> /a//b), useful when future workloads move subtrees.
+	RelaxAxes bool
+}
+
+// DefaultOptions returns the advisor defaults used by the demo tools.
+func DefaultOptions() Options {
+	return Options{
+		Search:           SearchGreedyHeuristic,
+		Generalize:       true,
+		MinSharedSteps:   1,
+		MaxCandidates:    400,
+		InteractionAware: true,
+	}
+}
+
+// Advisor recommends XML index configurations for workloads, using the
+// query optimizer for candidate enumeration and cost estimation.
+type Advisor struct {
+	cat  *catalog.Catalog
+	opt  *optimizer.Optimizer
+	opts Options
+}
+
+// New creates an advisor over the catalog.
+func New(cat *catalog.Catalog, opts Options) *Advisor {
+	if opts.MaxCandidates <= 0 {
+		opts.MaxCandidates = 400
+	}
+	if opts.MinSharedSteps < 0 {
+		opts.MinSharedSteps = 0
+	}
+	return &Advisor{cat: cat, opt: optimizer.New(cat), opts: opts}
+}
+
+// Optimizer exposes the advisor's optimizer (shared cost model).
+func (a *Advisor) Optimizer() *optimizer.Optimizer { return a.opt }
+
+// QueryAnalysis is the per-query cost comparison of the recommendation
+// analysis screen (paper Figure 5): original cost, cost under the
+// recommended configuration, and cost under the overtrained
+// configuration of all basic candidates.
+type QueryAnalysis struct {
+	ID              string
+	Text            string
+	Weight          float64
+	CostNoIndexes   float64
+	CostRecommended float64
+	CostOvertrained float64
+	IndexesUsed     []string
+}
+
+// Recommendation is the advisor's output.
+type Recommendation struct {
+	// Config is the recommended configuration.
+	Config []*Candidate
+	// DDL holds one CREATE INDEX statement per recommended index.
+	DDL []string
+	// TotalPages is the configuration size.
+	TotalPages int64
+	// QueryBenefit, UpdateCost, NetBenefit summarize the estimated
+	// workload improvement.
+	QueryBenefit float64
+	UpdateCost   float64
+	NetBenefit   float64
+	// PerQuery is the recommendation analysis (Figure 5).
+	PerQuery []QueryAnalysis
+	// Basics and DAG expose the candidate space (Figure 4).
+	Basics []*Candidate
+	DAG    *DAG
+	// Trace records the search steps.
+	Trace []string
+	// Evaluations counts Evaluate Indexes optimizer calls.
+	Evaluations int
+	// Elapsed is the advisor runtime.
+	Elapsed time.Duration
+}
+
+// Recommend runs the full index recommendation pipeline on the workload.
+func (a *Advisor) Recommend(w *workload.Workload) (*Recommendation, error) {
+	start := time.Now()
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("core: workload has no queries")
+	}
+
+	basics, err := a.enumerateBasic(w)
+	if err != nil {
+		return nil, err
+	}
+	all, dag, err := a.generalize(basics)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := a.newEvaluator(w)
+	if err != nil {
+		return nil, err
+	}
+
+	var sr *searchResult
+	switch a.opts.Search {
+	case SearchTopDown:
+		sr, err = a.searchTopDown(dag, ev)
+	case SearchGreedyBasic:
+		sr, err = a.searchGreedyBasic(all, ev)
+	default:
+		sr, err = a.searchGreedyHeuristic(all, ev)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	rec := &Recommendation{
+		Config: sr.config,
+		Basics: basics,
+		DAG:    dag,
+		Trace:  sr.trace,
+	}
+	sort.Slice(rec.Config, func(i, j int) bool { return rec.Config[i].Key() < rec.Config[j].Key() })
+	rec.TotalPages = pagesOf(rec.Config)
+
+	finalEval, err := ev.eval(rec.Config)
+	if err != nil {
+		return nil, err
+	}
+	rec.QueryBenefit = finalEval.QueryBenefit
+	rec.UpdateCost = finalEval.UpdateCost
+	rec.NetBenefit = finalEval.Net
+
+	// Overtrained configuration: every basic candidate, ignoring the
+	// budget — the maximum achievable benefit for this workload.
+	overEval, err := ev.eval(basics)
+	if err != nil {
+		return nil, err
+	}
+	// Public names: XIA_IDX<i> in config order, used consistently in the
+	// DDL and the per-query analysis.
+	public := map[int]string{}
+	for i, c := range rec.Config {
+		name := fmt.Sprintf("XIA_IDX%d", i+1)
+		public[c.ID] = name
+		rec.DDL = append(rec.DDL, catalogDDL(name, c))
+	}
+	for qi, e := range w.Queries {
+		qa := QueryAnalysis{
+			ID:              e.Query.ID,
+			Text:            e.Query.Text,
+			Weight:          e.Weight,
+			CostNoIndexes:   ev.baseCost[qi],
+			CostRecommended: finalEval.queryCost[qi],
+			CostOvertrained: overEval.queryCost[qi],
+		}
+		for _, id := range finalEval.usedBy[qi] {
+			if name, ok := public[id]; ok {
+				qa.IndexesUsed = append(qa.IndexesUsed, name)
+			}
+		}
+		sort.Strings(qa.IndexesUsed)
+		rec.PerQuery = append(rec.PerQuery, qa)
+	}
+	rec.Evaluations = ev.Evaluations
+	rec.Elapsed = time.Since(start)
+	return rec, nil
+}
+
+func catalogDDL(name string, c *Candidate) string {
+	d := *c.Def
+	d.Name = name
+	return d.DDL()
+}
+
+// EvaluateOn measures the recommended configuration's benefit on another
+// workload (the unseen-queries analysis of the demo, Figure 5's "add
+// more queries" feature). It returns total weighted cost without
+// indexes, with the configuration, and the benefit.
+func (a *Advisor) EvaluateOn(w *workload.Workload, config []*Candidate) (noIdx, withIdx float64, err error) {
+	defs := make([]*catalog.IndexDef, len(config))
+	for i, c := range config {
+		defs[i] = c.Def
+	}
+	for _, e := range w.Queries {
+		var qdefs []*catalog.IndexDef
+		for i, c := range config {
+			if c.Collection == e.Query.Collection {
+				qdefs = append(qdefs, defs[i])
+			}
+		}
+		res, err := a.opt.EvaluateIndexes(e.Query, qdefs, true)
+		if err != nil {
+			return 0, 0, err
+		}
+		noIdx += e.Weight * res.CostNoIndexes
+		withIdx += e.Weight * res.Cost
+	}
+	return noIdx, withIdx, nil
+}
+
+// AnalyzeConfig re-runs the per-query analysis for a user-modified
+// configuration — the demo's Figure 5 feature of adding/removing indexes
+// from the recommendation and seeing the effect on every query.
+func (a *Advisor) AnalyzeConfig(w *workload.Workload, config []*Candidate) ([]QueryAnalysis, error) {
+	defs := make([]*catalog.IndexDef, len(config))
+	names := map[string]string{}
+	for i, c := range config {
+		defs[i] = c.Def
+		names[c.Def.Name] = fmt.Sprintf("XIA_IDX%d", i+1)
+	}
+	var out []QueryAnalysis
+	for _, e := range w.Queries {
+		var qdefs []*catalog.IndexDef
+		for i, c := range config {
+			if c.Collection == e.Query.Collection {
+				qdefs = append(qdefs, defs[i])
+			}
+		}
+		res, err := a.opt.EvaluateIndexes(e.Query, qdefs, true)
+		if err != nil {
+			return nil, err
+		}
+		qa := QueryAnalysis{
+			ID:              e.Query.ID,
+			Text:            e.Query.Text,
+			Weight:          e.Weight,
+			CostNoIndexes:   res.CostNoIndexes,
+			CostRecommended: res.Cost,
+		}
+		for _, n := range res.UsedIndexes {
+			qa.IndexesUsed = append(qa.IndexesUsed, names[n])
+		}
+		sort.Strings(qa.IndexesUsed)
+		out = append(out, qa)
+	}
+	return out, nil
+}
+
+// WithoutIndex returns config minus the candidate at index i, for
+// what-if removal analysis.
+func WithoutIndex(config []*Candidate, i int) []*Candidate {
+	if i < 0 || i >= len(config) {
+		return config
+	}
+	out := make([]*Candidate, 0, len(config)-1)
+	out = append(out, config[:i]...)
+	return append(out, config[i+1:]...)
+}
+
+// Materialize creates the recommended indexes as real (physical) indexes
+// in the catalog, returning their names — the demo's final "create the
+// recommended configuration" step.
+func (a *Advisor) Materialize(rec *Recommendation) ([]string, error) {
+	var names []string
+	for i, c := range rec.Config {
+		name := fmt.Sprintf("XIA_IDX%d", i+1)
+		if _, err := a.cat.CreateIndex(name, c.Collection, c.Pattern, c.Type); err != nil {
+			return names, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// Report renders the recommendation as text: configuration, DDL,
+// benefits, and the per-query analysis table.
+func (rec *Recommendation) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== XML Index Advisor recommendation ===\n")
+	fmt.Fprintf(&sb, "candidates: %d basic, %d total (DAG: %d edges, %d roots)\n",
+		len(rec.Basics), len(rec.DAG.Nodes), rec.DAG.Edges(), len(rec.DAG.Roots))
+	fmt.Fprintf(&sb, "recommended configuration: %d indexes, %d pages\n", len(rec.Config), rec.TotalPages)
+	for _, ddl := range rec.DDL {
+		fmt.Fprintf(&sb, "  %s\n", ddl)
+	}
+	fmt.Fprintf(&sb, "estimated query benefit: %.1f   update cost: %.1f   net: %.1f\n",
+		rec.QueryBenefit, rec.UpdateCost, rec.NetBenefit)
+	fmt.Fprintf(&sb, "\n%-6s %10s %12s %12s  %s\n", "query", "no-index", "recommended", "overtrained", "indexes used")
+	for _, qa := range rec.PerQuery {
+		fmt.Fprintf(&sb, "%-6s %10.1f %12.1f %12.1f  %s\n",
+			qa.ID, qa.CostNoIndexes, qa.CostRecommended, qa.CostOvertrained, strings.Join(qa.IndexesUsed, ","))
+	}
+	fmt.Fprintf(&sb, "\nadvisor runtime: %v (%d optimizer evaluations)\n", rec.Elapsed.Round(time.Millisecond), rec.Evaluations)
+	return sb.String()
+}

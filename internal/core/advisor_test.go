@@ -1,0 +1,379 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/executor"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// xmarkFixture builds a catalog over generated XMark data.
+func xmarkFixture(t testing.TB, docs int) *catalog.Catalog {
+	t.Helper()
+	st := store.New()
+	if _, err := datagen.GenerateXMark(st, datagen.XMarkConfig{Docs: docs, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	return catalog.New(st)
+}
+
+func TestRecommendPaperExample(t *testing.T) {
+	cat := xmarkFixture(t, 300)
+	a := New(cat, DefaultOptions())
+	w := datagen.XMarkPaperWorkload()
+	rec, err := a.Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generalization phase must produce the paper's patterns.
+	var sawQuantityLUB, sawItemStar bool
+	for _, c := range rec.DAG.Nodes {
+		switch c.Pattern.String() {
+		case "/site/regions/*/item/quantity":
+			sawQuantityLUB = true
+		case "/site/regions/*/item/*":
+			sawItemStar = true
+		}
+	}
+	if !sawQuantityLUB {
+		t.Error("missing /site/regions/*/item/quantity generalization")
+	}
+	if !sawItemStar {
+		t.Error("missing /site/regions/*/item/* generalization")
+	}
+	if len(rec.Config) == 0 {
+		t.Fatal("no indexes recommended")
+	}
+	if rec.NetBenefit <= 0 {
+		t.Errorf("net benefit = %f", rec.NetBenefit)
+	}
+	if len(rec.DDL) != len(rec.Config) {
+		t.Error("DDL count mismatch")
+	}
+	for _, ddl := range rec.DDL {
+		if !strings.Contains(ddl, "GENERATE KEY USING XMLPATTERN") {
+			t.Errorf("bad DDL: %s", ddl)
+		}
+	}
+}
+
+func TestRecommendImprovesPerQueryCosts(t *testing.T) {
+	cat := xmarkFixture(t, 300)
+	a := New(cat, DefaultOptions())
+	w := datagen.XMarkWorkload(12, 3)
+	rec, err := a.Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.PerQuery) != 12 {
+		t.Fatalf("PerQuery = %d", len(rec.PerQuery))
+	}
+	improved := 0
+	for _, qa := range rec.PerQuery {
+		if qa.CostRecommended > qa.CostNoIndexes+1e-9 {
+			t.Errorf("%s: recommended cost %f > no-index cost %f", qa.ID, qa.CostRecommended, qa.CostNoIndexes)
+		}
+		// Overtrained is the per-workload maximum benefit: recommended
+		// can never beat it.
+		if qa.CostOvertrained > qa.CostRecommended+1e-9 {
+			t.Errorf("%s: overtrained cost %f > recommended %f", qa.ID, qa.CostOvertrained, qa.CostRecommended)
+		}
+		if qa.CostRecommended < qa.CostNoIndexes {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("no query improved")
+	}
+}
+
+func TestBudgetIsRespected(t *testing.T) {
+	cat := xmarkFixture(t, 300)
+	w := datagen.XMarkWorkload(10, 4)
+
+	unlimited := New(cat, DefaultOptions())
+	recU, err := unlimited.Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recU.TotalPages == 0 {
+		t.Skip("nothing recommended; cannot test budget")
+	}
+	budget := recU.TotalPages / 2
+	for _, kind := range []SearchKind{SearchGreedyHeuristic, SearchTopDown, SearchGreedyBasic} {
+		opts := DefaultOptions()
+		opts.DiskBudgetPages = budget
+		opts.Search = kind
+		a := New(cat, opts)
+		rec, err := a.Recommend(w)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if rec.TotalPages > budget {
+			t.Errorf("%v: %d pages exceeds budget %d", kind, rec.TotalPages, budget)
+		}
+		if rec.NetBenefit < 0 {
+			t.Errorf("%v: negative net benefit %f", kind, rec.NetBenefit)
+		}
+	}
+}
+
+func TestHeuristicBeatsPlainGreedyUnderTightBudget(t *testing.T) {
+	cat := xmarkFixture(t, 400)
+	w := datagen.XMarkWorkload(16, 7)
+
+	base := New(cat, DefaultOptions())
+	recBase, err := base.Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recBase.TotalPages < 4 {
+		t.Skip("config too small to constrain")
+	}
+	budget := recBase.TotalPages / 3
+
+	run := func(kind SearchKind) *Recommendation {
+		opts := DefaultOptions()
+		opts.DiskBudgetPages = budget
+		opts.Search = kind
+		rec, err := New(cat, opts).Recommend(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	heur := run(SearchGreedyHeuristic)
+	plain := run(SearchGreedyBasic)
+	// The paper's claim: redundancy-aware greedy never loses to plain
+	// greedy (which wastes budget on overlapping indexes).
+	if heur.NetBenefit+1e-6 < plain.NetBenefit {
+		t.Errorf("heuristic %.1f < plain %.1f under budget %d", heur.NetBenefit, plain.NetBenefit, budget)
+	}
+}
+
+func TestEveryRecommendedIndexIsUsed(t *testing.T) {
+	cat := xmarkFixture(t, 300)
+	opts := DefaultOptions()
+	a := New(cat, opts)
+	w := datagen.XMarkWorkload(10, 5)
+	rec, err := a.Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[string]bool{}
+	for _, qa := range rec.PerQuery {
+		for _, n := range qa.IndexesUsed {
+			used[n] = true
+		}
+	}
+	for i := range rec.Config {
+		name := rec.DDL[i]
+		_ = name
+	}
+	// §2.3: "every index recommended ... will be used by at least one
+	// query in the workload".
+	if len(used) != len(rec.Config) {
+		t.Errorf("recommended %d indexes but only %d used: %v", len(rec.Config), len(used), used)
+	}
+}
+
+func TestUpdateCostShrinksRecommendation(t *testing.T) {
+	cat := xmarkFixture(t, 300)
+	w := datagen.XMarkWorkload(10, 6)
+
+	recNoUpd, err := New(cat, DefaultOptions()).Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy updates: maintenance should eat into net benefit.
+	wUpd := datagen.XMarkWorkload(10, 6)
+	datagen.XMarkUpdates(wUpd, 500, 6)
+	recUpd, err := New(cat, DefaultOptions()).Recommend(wUpd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recUpd.UpdateCost <= 0 {
+		t.Error("update cost not charged")
+	}
+	if recUpd.NetBenefit > recNoUpd.NetBenefit {
+		t.Errorf("net benefit with updates %f > without %f", recUpd.NetBenefit, recNoUpd.NetBenefit)
+	}
+	if recUpd.TotalPages > recNoUpd.TotalPages {
+		t.Errorf("update-heavy workload got a bigger config (%d > %d pages)", recUpd.TotalPages, recNoUpd.TotalPages)
+	}
+}
+
+func TestGeneralizationHelpsUnseenQueries(t *testing.T) {
+	cat := xmarkFixture(t, 400)
+	full := datagen.XMarkWorkload(30, 8)
+	train, test := full.Split(0.6, 8)
+	if len(train.Queries) == 0 || len(test.Queries) == 0 {
+		t.Skip("degenerate split")
+	}
+
+	run := func(generalize bool) float64 {
+		opts := DefaultOptions()
+		opts.Search = SearchTopDown
+		opts.Generalize = generalize
+		a := New(cat, opts)
+		rec, err := a.Recommend(train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noIdx, withIdx, err := a.EvaluateOn(test, rec.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return noIdx - withIdx
+	}
+	genBenefit := run(true)
+	noGenBenefit := run(false)
+	if genBenefit < noGenBenefit-1e-6 {
+		t.Errorf("generalized config benefit on unseen queries %.1f < ungeneralized %.1f", genBenefit, noGenBenefit)
+	}
+	if genBenefit <= 0 {
+		t.Error("generalized config gives no benefit to unseen queries")
+	}
+}
+
+func TestMaterializeAndExecute(t *testing.T) {
+	cat := xmarkFixture(t, 200)
+	a := New(cat, DefaultOptions())
+	w := datagen.XMarkWorkload(8, 9)
+	rec, err := a.Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := a.Materialize(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(rec.Config) {
+		t.Fatalf("materialized %d of %d", len(names), len(rec.Config))
+	}
+	for _, n := range names {
+		def := cat.Index(n)
+		if def == nil || def.Phys == nil {
+			t.Fatalf("index %s not physically built", n)
+		}
+	}
+	// Queries must still produce identical results with the physical
+	// indexes in place.
+	ex := executor.New(cat)
+	for _, e := range w.Queries {
+		scan, err := ex.Run(e.Query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := a.Optimizer().Optimize(e.Query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := ex.Run(e.Query, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scan.Rows != idx.Rows {
+			t.Errorf("%s: scan=%d indexed=%d", e.Query.ID, scan.Rows, idx.Rows)
+		}
+	}
+}
+
+func TestSyntacticEnumerationIsWorse(t *testing.T) {
+	cat := xmarkFixture(t, 300)
+	w := datagen.XMarkWorkload(12, 10)
+
+	optsOpt := DefaultOptions()
+	recOpt, err := New(cat, optsOpt).Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsSyn := DefaultOptions()
+	optsSyn.Enumeration = EnumSyntactic
+	recSyn, err := New(cat, optsSyn).Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The syntactic baseline types everything VARCHAR, so numeric
+	// comparisons cannot be served: its benefit must not exceed the
+	// optimizer-coupled benefit.
+	if recSyn.NetBenefit > recOpt.NetBenefit+1e-6 {
+		t.Errorf("syntactic %.1f > optimizer-coupled %.1f", recSyn.NetBenefit, recOpt.NetBenefit)
+	}
+}
+
+func TestEmptyWorkloadFails(t *testing.T) {
+	cat := xmarkFixture(t, 10)
+	a := New(cat, DefaultOptions())
+	if _, err := a.Recommend(&workload.Workload{}); err == nil {
+		t.Error("empty workload should fail")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	cat := xmarkFixture(t, 150)
+	a := New(cat, DefaultOptions())
+	rec, err := a.Recommend(datagen.XMarkPaperWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := rec.Report()
+	for _, want := range []string{"recommendation", "CREATE INDEX", "overtrained", "net:"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	dag := rec.DAG.Render()
+	if !strings.Contains(dag, "roots") {
+		t.Errorf("DAG render:\n%s", dag)
+	}
+}
+
+func TestAnalyzeConfigWhatIf(t *testing.T) {
+	cat := xmarkFixture(t, 200)
+	a := New(cat, DefaultOptions())
+	w := datagen.XMarkWorkload(8, 20)
+	rec, err := a.Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Config) < 2 {
+		t.Skip("config too small for removal analysis")
+	}
+	full, err := a.AnalyzeConfig(w, rec.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := a.AnalyzeConfig(w, WithoutIndex(rec.Config, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(w.Queries) || len(reduced) != len(w.Queries) {
+		t.Fatal("analysis row count wrong")
+	}
+	var fullTot, redTot float64
+	for i := range full {
+		fullTot += full[i].Weight * full[i].CostRecommended
+		redTot += reduced[i].Weight * reduced[i].CostRecommended
+		// Removing an index can only increase (or keep) each cost.
+		if reduced[i].CostRecommended+1e-9 < full[i].CostRecommended {
+			t.Errorf("%s: cost dropped after removing an index", full[i].ID)
+		}
+	}
+	if redTot < fullTot {
+		t.Error("total cost dropped after removing an index")
+	}
+	// The full analysis must agree with the recommendation's own table.
+	for i, qa := range rec.PerQuery {
+		if d := qa.CostRecommended - full[i].CostRecommended; d > 1e-6 || d < -1e-6 {
+			t.Errorf("%s: AnalyzeConfig %f != recommendation %f", qa.ID, full[i].CostRecommended, qa.CostRecommended)
+		}
+	}
+	if got := WithoutIndex(rec.Config, -1); len(got) != len(rec.Config) {
+		t.Error("WithoutIndex out of range should be a no-op")
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+	"repro/internal/workload"
+	"repro/internal/xmldoc"
+)
+
+// evaluator computes workload benefits of candidate configurations by
+// repeated Evaluate Indexes calls, memoizing per (query, configuration)
+// since searches revisit the same configurations constantly. It also
+// charges index maintenance for the workload's update statements.
+type evaluator struct {
+	a *Advisor
+	w *workload.Workload
+
+	// baseCost[qi] is the document-scan cost of query qi.
+	baseCost []float64
+	// cache maps configKey -> evaluation outcome.
+	cache map[string]*configEval
+	// insertEntries caches, per update index, the parsed sample
+	// document's entry counts by candidate key.
+	insertDocs []*xmldoc.Document
+
+	// Evaluations counts optimizer Evaluate Indexes calls (reported in
+	// the advisor trace).
+	Evaluations int
+}
+
+// configEval is the memoized outcome for one configuration.
+type configEval struct {
+	// queryCost[qi] is the estimated cost of query qi under the config.
+	queryCost []float64
+	// usedBy[qi] lists config candidate IDs used by query qi's plan.
+	usedBy [][]int
+	// QueryBenefit is the weighted query benefit (no update cost).
+	QueryBenefit float64
+	// UpdateCost is the weighted maintenance cost of the config.
+	UpdateCost float64
+	// Net is QueryBenefit - UpdateCost.
+	Net float64
+	// UsedSet is the set of candidate IDs used by at least one query.
+	UsedSet map[int]bool
+}
+
+func (a *Advisor) newEvaluator(w *workload.Workload) (*evaluator, error) {
+	ev := &evaluator{a: a, w: w, cache: map[string]*configEval{}}
+	for _, e := range w.Queries {
+		plan, err := a.opt.EvaluateIndexes(e.Query, nil, true)
+		if err != nil {
+			return nil, err
+		}
+		ev.baseCost = append(ev.baseCost, plan.CostNoIndexes)
+	}
+	for _, u := range w.Updates {
+		var d *xmldoc.Document
+		if u.Kind == workload.UpdateInsert {
+			var err error
+			d, err = xmldoc.ParseString(u.DocXML)
+			if err != nil {
+				return nil, fmt.Errorf("core: update document: %w", err)
+			}
+		}
+		ev.insertDocs = append(ev.insertDocs, d)
+	}
+	return ev, nil
+}
+
+func configKey(cfg []*Candidate) string {
+	ids := make([]int, len(cfg))
+	for i, c := range cfg {
+		ids[i] = c.ID
+	}
+	sort.Ints(ids)
+	var sb strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "%d,", id)
+	}
+	return sb.String()
+}
+
+// eval returns the (memoized) evaluation of a configuration.
+func (ev *evaluator) eval(cfg []*Candidate) (*configEval, error) {
+	key := configKey(cfg)
+	if got, ok := ev.cache[key]; ok {
+		return got, nil
+	}
+	defs := make([]*catalog.IndexDef, len(cfg))
+	defByName := map[string]int{}
+	for i, c := range cfg {
+		defs[i] = c.Def
+		defByName[c.Def.Name] = c.ID
+	}
+	out := &configEval{UsedSet: map[int]bool{}}
+	for qi, e := range ev.w.Queries {
+		// Only pass same-collection defs; the optimizer ignores others
+		// anyway but this keeps matching cheap.
+		var qdefs []*catalog.IndexDef
+		for i, c := range cfg {
+			if c.Collection == e.Query.Collection {
+				qdefs = append(qdefs, defs[i])
+			}
+		}
+		res, err := ev.a.opt.EvaluateIndexes(e.Query, qdefs, true)
+		if err != nil {
+			return nil, err
+		}
+		ev.Evaluations++
+		out.queryCost = append(out.queryCost, res.Cost)
+		var used []int
+		for _, name := range res.UsedIndexes {
+			if id, ok := defByName[name]; ok {
+				used = append(used, id)
+				out.UsedSet[id] = true
+			}
+		}
+		out.usedBy = append(out.usedBy, used)
+		out.QueryBenefit += e.Weight * (ev.baseCost[qi] - res.Cost)
+	}
+	out.UpdateCost = ev.updateCost(cfg)
+	out.Net = out.QueryBenefit - out.UpdateCost
+	ev.cache[key] = out
+	return out, nil
+}
+
+// updateCost charges each update statement for the index entries it
+// would add or remove in every configuration index (paper §1: "taking
+// into account the cost of updating the index on data modification").
+func (ev *evaluator) updateCost(cfg []*Candidate) float64 {
+	if len(ev.w.Updates) == 0 {
+		return 0
+	}
+	perEntry := ev.a.opt.Cost.MaintPerEntry
+	var total float64
+	for ui, u := range ev.w.Updates {
+		for _, c := range cfg {
+			if c.Collection != u.Collection {
+				continue
+			}
+			switch u.Kind {
+			case workload.UpdateInsert:
+				d := ev.insertDocs[ui]
+				if d == nil {
+					continue
+				}
+				total += u.Weight * float64(docEntriesFor(d, c)) * perEntry
+			case workload.UpdateDelete:
+				// Deleting a document removes its entries from every
+				// index; estimate with the index's average entries per
+				// document, restricted to docs the delete path selects
+				// (approximated by full overlap when patterns intersect).
+				st, err := ev.a.cat.Stats(u.Collection)
+				if err != nil || st.Docs == 0 {
+					continue
+				}
+				perDoc := float64(c.Def.EstEntries) / float64(st.Docs)
+				if u.Path != nil && !pattern.Overlaps(docScope(u.Path.LinearPattern()), docScope(c.Pattern)) {
+					continue
+				}
+				total += u.Weight * perDoc * perEntry
+			}
+		}
+	}
+	return total
+}
+
+// docScope reduces a pattern to its first step: two patterns can share a
+// document only if they agree on the document root element.
+func docScope(p pattern.Pattern) pattern.Pattern {
+	if p.IsZero() {
+		return p
+	}
+	return pattern.Pattern{Steps: p.Steps[:1]}
+}
+
+// docEntriesFor counts the index entries document d would contribute to
+// candidate c — exact maintenance work for an insert of d.
+func docEntriesFor(d *xmldoc.Document, c *Candidate) int {
+	m := pattern.Compile(c.Pattern)
+	n := 0
+	d.Walk(func(nd *xmldoc.Node) bool {
+		var raw string
+		switch nd.Kind {
+		case xmldoc.KindElement:
+			raw = nd.Text()
+		default:
+			raw = nd.Value
+		}
+		if m.MatchPath(nd.RootPath()) {
+			if _, ok := sqltype.Cast(c.Type, raw); ok {
+				n++
+			}
+		}
+		return true
+	})
+	return n
+}
+
+// standalone returns each candidate's net benefit evaluated alone,
+// in candidate order.
+func (ev *evaluator) standalone(cands []*Candidate) (map[int]*configEval, error) {
+	out := make(map[int]*configEval, len(cands))
+	for _, c := range cands {
+		e, err := ev.eval([]*Candidate{c})
+		if err != nil {
+			return nil, err
+		}
+		out[c.ID] = e
+	}
+	return out, nil
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+)
+
+// DAG is the candidate generalization DAG (paper §2.2, Figure 4): nodes
+// are candidate indexes; an edge runs from a generalization (parent) to
+// each of its most specific covered candidates (children). Roots are the
+// most general candidates obtainable from the workload.
+type DAG struct {
+	Nodes []*Candidate
+	Roots []*Candidate
+}
+
+// generalize expands the basic candidates with the generalization rules
+// and returns all candidates plus the DAG. Rules (applied to fixpoint,
+// deduplicated, capped at opts.MaxCandidates):
+//
+//	R1 pairwise LUB: candidates of identical shape that differ in one or
+//	   more step names generalize to the pattern with * at the differing
+//	   steps — the paper's /regions/namerica/item/quantity +
+//	   /regions/africa/item/quantity => /regions/*/item/quantity.
+//	R2 descendant leaf: every candidate generalizes to //leaf.
+//
+// R1 requires at least opts.MinSharedSteps concrete steps in common, so
+// unrelated patterns do not generalize into uselessly broad indexes.
+func (a *Advisor) generalize(basics []*Candidate) ([]*Candidate, *DAG, error) {
+	all := append([]*Candidate(nil), basics...)
+	byKey := map[string]*Candidate{}
+	for _, c := range all {
+		byKey[c.Key()] = c
+	}
+
+	addCand := func(coll string, p pattern.Pattern, t sqltype.Type) (*Candidate, error) {
+		key := coll + "|" + p.String() + "|" + t.Short()
+		if c := byKey[key]; c != nil {
+			return c, nil
+		}
+		st, err := a.cat.Stats(coll)
+		if err != nil {
+			return nil, err
+		}
+		c := &Candidate{
+			ID:         len(all),
+			Collection: coll,
+			Pattern:    p,
+			Type:       t,
+		}
+		c.Def = catalog.VirtualDef(fmt.Sprintf("XIA_G%d", len(all)+1), coll, p, t, st)
+		byKey[key] = c
+		all = append(all, c)
+		return c, nil
+	}
+
+	if a.opts.Generalize {
+		// R1 to fixpoint: each round LUBs every shape-compatible pair.
+		frontier := append([]*Candidate(nil), basics...)
+		for len(frontier) > 0 && len(all) < a.opts.MaxCandidates {
+			var next []*Candidate
+			for _, c := range frontier {
+				for _, d := range all {
+					if len(all) >= a.opts.MaxCandidates {
+						break
+					}
+					if c == d || c.Collection != d.Collection || c.Type != d.Type {
+						continue
+					}
+					if pattern.SharedConcreteSteps(c.Pattern, d.Pattern) < a.opts.MinSharedSteps {
+						continue
+					}
+					lub, ok := pattern.PairwiseLUB(c.Pattern, d.Pattern)
+					if !ok {
+						continue
+					}
+					key := c.Collection + "|" + lub.String() + "|" + c.Type.Short()
+					if byKey[key] == nil {
+						nc, err := addCand(c.Collection, lub, c.Type)
+						if err != nil {
+							return nil, nil, err
+						}
+						next = append(next, nc)
+					}
+				}
+			}
+			frontier = next
+		}
+		// R2: descendant-leaf generalizations of the basics.
+		for _, c := range basics {
+			if len(all) >= a.opts.MaxCandidates {
+				break
+			}
+			if g, ok := pattern.DescendantLeaf(c.Pattern); ok {
+				if _, err := addCand(c.Collection, g, c.Type); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		// R3 (optional): axis relaxation of each basic step.
+		if a.opts.RelaxAxes {
+			for _, c := range basics {
+				for i := 0; i < c.Pattern.Len() && len(all) < a.opts.MaxCandidates; i++ {
+					if g, ok := pattern.RelaxAxisAt(c.Pattern, i); ok {
+						if _, err := addCand(c.Collection, g, c.Type); err != nil {
+							return nil, nil, err
+						}
+					}
+				}
+			}
+		}
+		// Universal roots (optional): //* and //@* per referenced
+		// (collection, type).
+		if a.opts.IncludeUniversal {
+			seen := map[string]bool{}
+			for _, c := range basics {
+				key := c.Collection + "|" + c.Type.Short()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				for _, kind := range []pattern.TestKind{pattern.TestElem, pattern.TestAttr} {
+					if len(all) >= a.opts.MaxCandidates {
+						break
+					}
+					if _, err := addCand(c.Collection, pattern.UniversalFor(kind), c.Type); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// Drop generalized candidates that would index nothing (no data).
+	kept := all[:0:0]
+	for _, c := range all {
+		if c.Basic || c.Def.EstEntries > 0 {
+			kept = append(kept, c)
+		}
+	}
+	all = kept
+	for i, c := range all {
+		c.ID = i
+	}
+
+	// Coverage bitmaps over basic candidates (the greedy heuristic's
+	// redundancy bitmap).
+	nBasic := 0
+	for _, c := range all {
+		if c.Basic {
+			nBasic++
+		}
+	}
+	basicIdx := map[string]int{}
+	i := 0
+	for _, c := range all {
+		if c.Basic {
+			basicIdx[c.Key()] = i
+			i++
+		}
+	}
+	for _, c := range all {
+		c.covers = newBitset(nBasic)
+		for _, b := range all {
+			if !b.Basic || b.Collection != c.Collection || b.Type != c.Type {
+				continue
+			}
+			if pattern.ContainsCached(c.Pattern, b.Pattern) {
+				c.covers.set(basicIdx[b.Key()])
+			}
+		}
+	}
+
+	dag, err := buildDAG(all)
+	return all, dag, err
+}
+
+// buildDAG wires parent/child edges by pattern containment with
+// transitive reduction, per (collection, type) stratum.
+func buildDAG(all []*Candidate) (*DAG, error) {
+	n := len(all)
+	// contains[i][j]: candidate i's pattern properly contains j's.
+	contains := make([][]bool, n)
+	for i := range contains {
+		contains[i] = make([]bool, n)
+	}
+	for i, p := range all {
+		for j, q := range all {
+			if i == j || p.Collection != q.Collection || p.Type != q.Type {
+				continue
+			}
+			if pattern.ContainsCached(p.Pattern, q.Pattern) && !pattern.ContainsCached(q.Pattern, p.Pattern) {
+				contains[i][j] = true
+			}
+		}
+	}
+	// Transitive reduction: edge i->j survives iff no k with i⊃k⊃j.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !contains[i][j] {
+				continue
+			}
+			direct := true
+			for k := 0; k < n && direct; k++ {
+				if k != i && k != j && contains[i][k] && contains[k][j] {
+					direct = false
+				}
+			}
+			if direct {
+				all[i].Children = append(all[i].Children, all[j])
+				all[j].Parents = append(all[j].Parents, all[i])
+			}
+		}
+	}
+	dag := &DAG{Nodes: all}
+	for _, c := range all {
+		sort.Slice(c.Children, func(x, y int) bool { return c.Children[x].ID < c.Children[y].ID })
+		sort.Slice(c.Parents, func(x, y int) bool { return c.Parents[x].ID < c.Parents[y].ID })
+		if len(c.Parents) == 0 {
+			dag.Roots = append(dag.Roots, c)
+		}
+	}
+	return dag, nil
+}
+
+// Edges returns the number of DAG edges.
+func (d *DAG) Edges() int {
+	n := 0
+	for _, c := range d.Nodes {
+		n += len(c.Children)
+	}
+	return n
+}
+
+// Render draws the DAG as indented text, roots first (the content of the
+// paper's Figure 4 visualization).
+func (d *DAG) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "candidate DAG: %d nodes, %d edges, %d roots\n", len(d.Nodes), d.Edges(), len(d.Roots))
+	seen := map[int]bool{}
+	var walk func(c *Candidate, depth int)
+	walk = func(c *Candidate, depth int) {
+		fmt.Fprintf(&sb, "%s%s\n", strings.Repeat("  ", depth+1), c)
+		if seen[c.ID] {
+			return
+		}
+		seen[c.ID] = true
+		for _, ch := range c.Children {
+			walk(ch, depth+1)
+		}
+	}
+	for _, r := range d.Roots {
+		walk(r, 0)
+	}
+	return sb.String()
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// recommendationJSON is the flat, cycle-free export form of a
+// Recommendation (the in-memory DAG links parents and children both
+// ways, which encoding/json cannot serialize directly).
+type recommendationJSON struct {
+	Config       []candidateJSON `json:"config"`
+	DDL          []string        `json:"ddl"`
+	TotalPages   int64           `json:"totalPages"`
+	QueryBenefit float64         `json:"queryBenefit"`
+	UpdateCost   float64         `json:"updateCost"`
+	NetBenefit   float64         `json:"netBenefit"`
+	PerQuery     []QueryAnalysis `json:"perQuery"`
+	DAG          dagJSON         `json:"dag"`
+	Trace        []string        `json:"trace,omitempty"`
+	Evaluations  int             `json:"evaluations"`
+	ElapsedMS    int64           `json:"elapsedMs"`
+}
+
+type candidateJSON struct {
+	ID         int    `json:"id"`
+	Collection string `json:"collection"`
+	Pattern    string `json:"pattern"`
+	Type       string `json:"type"`
+	Basic      bool   `json:"basic"`
+	Pages      int64  `json:"pages"`
+	Entries    int64  `json:"entries"`
+	FromQuery  []int  `json:"fromQueries,omitempty"`
+}
+
+type dagJSON struct {
+	Nodes []candidateJSON `json:"nodes"`
+	// Edges are (parent ID, child ID) pairs.
+	Edges [][2]int `json:"edges"`
+	Roots []int    `json:"roots"`
+}
+
+func candJSON(c *Candidate) candidateJSON {
+	return candidateJSON{
+		ID:         c.ID,
+		Collection: c.Collection,
+		Pattern:    c.Pattern.String(),
+		Type:       c.Type.Short(),
+		Basic:      c.Basic,
+		Pages:      c.Pages(),
+		Entries:    c.Def.EstEntries,
+		FromQuery:  c.FromQueries,
+	}
+}
+
+// MarshalJSON exports the recommendation as a flat JSON document with the
+// DAG as node/edge lists, suitable for external tooling (the demo GUI's
+// data model).
+func (rec *Recommendation) MarshalJSON() ([]byte, error) {
+	out := recommendationJSON{
+		DDL:          rec.DDL,
+		TotalPages:   rec.TotalPages,
+		QueryBenefit: rec.QueryBenefit,
+		UpdateCost:   rec.UpdateCost,
+		NetBenefit:   rec.NetBenefit,
+		PerQuery:     rec.PerQuery,
+		Trace:        rec.Trace,
+		Evaluations:  rec.Evaluations,
+		ElapsedMS:    int64(rec.Elapsed / time.Millisecond),
+	}
+	for _, c := range rec.Config {
+		out.Config = append(out.Config, candJSON(c))
+	}
+	if rec.DAG != nil {
+		for _, n := range rec.DAG.Nodes {
+			out.DAG.Nodes = append(out.DAG.Nodes, candJSON(n))
+			for _, ch := range n.Children {
+				out.DAG.Edges = append(out.DAG.Edges, [2]int{n.ID, ch.ID})
+			}
+		}
+		for _, r := range rec.DAG.Roots {
+			out.DAG.Roots = append(out.DAG.Roots, r.ID)
+		}
+	}
+	return json.Marshal(out)
+}

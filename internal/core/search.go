@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SearchKind selects the configuration search algorithm (paper §2.3).
+type SearchKind uint8
+
+const (
+	// SearchGreedyHeuristic is the paper's first algorithm: greedy
+	// knapsack augmented with the redundancy bitmap and interaction-
+	// aware re-evaluation.
+	SearchGreedyHeuristic SearchKind = iota
+	// SearchTopDown is the paper's second algorithm: root-to-leaf DAG
+	// descent that keeps the configuration as general as possible while
+	// shrinking it into the budget.
+	SearchTopDown
+	// SearchGreedyBasic is the plain greedy 0/1-knapsack approximation
+	// of the relational DB2 advisor [8], kept as the baseline the paper
+	// compares its strategies against.
+	SearchGreedyBasic
+)
+
+// String names the search kind.
+func (k SearchKind) String() string {
+	switch k {
+	case SearchTopDown:
+		return "topdown"
+	case SearchGreedyBasic:
+		return "greedy-basic"
+	default:
+		return "greedy-heuristic"
+	}
+}
+
+// ParseSearchKind parses a search kind name.
+func ParseSearchKind(s string) (SearchKind, error) {
+	switch s {
+	case "greedy", "greedy-heuristic", "heuristic":
+		return SearchGreedyHeuristic, nil
+	case "topdown", "top-down":
+		return SearchTopDown, nil
+	case "greedy-basic", "basic", "knapsack":
+		return SearchGreedyBasic, nil
+	}
+	return SearchGreedyHeuristic, fmt.Errorf("core: unknown search %q", s)
+}
+
+// searchResult is a chosen configuration plus its trace.
+type searchResult struct {
+	config []*Candidate
+	trace  []string
+}
+
+func pagesOf(cfg []*Candidate) int64 {
+	var t int64
+	for _, c := range cfg {
+		t += c.Pages()
+	}
+	return t
+}
+
+// fitsBudget reports whether cfg fits the budget (0 = unlimited).
+func (a *Advisor) fitsBudget(pages int64) bool {
+	return a.opts.DiskBudgetPages <= 0 || pages <= a.opts.DiskBudgetPages
+}
+
+// searchGreedyBasic is the plain greedy knapsack of [8]: rank candidates
+// once by standalone net benefit per page and add while the budget holds.
+// No redundancy detection, no re-evaluation: exactly the weaknesses the
+// paper's heuristics address.
+func (a *Advisor) searchGreedyBasic(cands []*Candidate, ev *evaluator) (*searchResult, error) {
+	res := &searchResult{}
+	alone, err := ev.standalone(cands)
+	if err != nil {
+		return nil, err
+	}
+	order := append([]*Candidate(nil), cands...)
+	sort.Slice(order, func(i, j int) bool {
+		ri := ratio(alone[order[i].ID].Net, order[i].Pages())
+		rj := ratio(alone[order[j].ID].Net, order[j].Pages())
+		if ri != rj {
+			return ri > rj
+		}
+		return order[i].ID < order[j].ID
+	})
+	var pages int64
+	for _, c := range order {
+		if alone[c.ID].Net <= 0 {
+			break
+		}
+		if !a.fitsBudget(pages + c.Pages()) {
+			res.trace = append(res.trace, fmt.Sprintf("skip %s: over budget", c))
+			continue
+		}
+		res.config = append(res.config, c)
+		pages += c.Pages()
+		res.trace = append(res.trace, fmt.Sprintf("add %s (standalone net %.1f)", c, alone[c.ID].Net))
+	}
+	return res, nil
+}
+
+func ratio(benefit float64, pages int64) float64 {
+	if pages <= 0 {
+		pages = 1
+	}
+	return benefit / float64(pages)
+}
+
+// searchGreedyHeuristic is the paper's greedy search with heuristics:
+//
+//   - redundancy bitmap: a candidate whose covered workload patterns add
+//     nothing to the patterns already covered is skipped outright;
+//   - interaction-aware marginal benefit: each round re-evaluates the
+//     configuration with the candidate included (Evaluate Indexes), so
+//     overlapping benefits are not double-counted;
+//   - reclamation: after each addition, configuration members that the
+//     optimizer no longer uses for any workload query are dropped and
+//     their space reclaimed.
+func (a *Advisor) searchGreedyHeuristic(cands []*Candidate, ev *evaluator) (*searchResult, error) {
+	res := &searchResult{}
+	var config []*Candidate
+	covered := newBitset(bitsetWidth(cands))
+
+	// Candidates with no standalone benefit are dropped up front. A
+	// candidate useless alone can in principle gain value inside an
+	// index-ANDed plan, but its standalone benefit is a tight upper
+	// bound in practice and evaluating every (config, candidate) pair
+	// without it would be quadratic in optimizer calls.
+	alone, err := ev.standalone(cands)
+	if err != nil {
+		return nil, err
+	}
+	var remaining []*Candidate
+	for _, c := range cands {
+		if alone[c.ID].Net > 0 {
+			remaining = append(remaining, c)
+		}
+	}
+	// Consider high-density candidates first so the upper-bound pruning
+	// below fires early.
+	sort.Slice(remaining, func(i, j int) bool {
+		ri := ratio(alone[remaining[i].ID].Net, remaining[i].Pages())
+		rj := ratio(alone[remaining[j].ID].Net, remaining[j].Pages())
+		if ri != rj {
+			return ri > rj
+		}
+		return remaining[i].ID < remaining[j].ID
+	})
+
+	curEval, err := ev.eval(nil)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pages := pagesOf(config)
+		var best *Candidate
+		var bestEval *configEval
+		bestRatio := 0.0
+		for _, c := range remaining {
+			if !a.fitsBudget(pages + c.Pages()) {
+				continue
+			}
+			// Redundancy heuristic: covered patterns must grow.
+			if c.covers.subset(covered) {
+				continue
+			}
+			// Upper-bound pruning: the marginal benefit of c cannot
+			// meaningfully exceed its standalone benefit, so a
+			// standalone density below the best found ratio cannot win.
+			if best != nil && ratio(alone[c.ID].Net, c.Pages()) <= bestRatio {
+				continue
+			}
+			var marg float64
+			var candEval *configEval
+			if a.opts.InteractionAware {
+				candEval, err = ev.eval(append(config, c))
+				if err != nil {
+					return nil, err
+				}
+				marg = candEval.Net - curEval.Net
+			} else {
+				marg = alone[c.ID].Net
+			}
+			if r := ratio(marg, c.Pages()); marg > 0 && (best == nil || r > bestRatio) {
+				best, bestEval, bestRatio = c, candEval, r
+			}
+		}
+		if best == nil {
+			break
+		}
+		config = append(config, best)
+		covered.or(best.covers)
+		if bestEval == nil {
+			bestEval, err = ev.eval(config)
+			if err != nil {
+				return nil, err
+			}
+		}
+		curEval = bestEval
+		res.trace = append(res.trace, fmt.Sprintf("add %s (net %.1f, %d/%d patterns covered)",
+			best, curEval.Net, covered.count(), bitsetWidth(cands)))
+
+		// Reclaim space held by members no plan uses anymore.
+		pruned := config[:0:0]
+		for _, c := range config {
+			if curEval.UsedSet[c.ID] {
+				pruned = append(pruned, c)
+			} else {
+				res.trace = append(res.trace, fmt.Sprintf("reclaim %s: unused under current config", c))
+			}
+		}
+		if len(pruned) != len(config) {
+			config = pruned
+			curEval, err = ev.eval(config)
+			if err != nil {
+				return nil, err
+			}
+			covered = newBitset(bitsetWidth(cands))
+			for _, c := range config {
+				covered.or(c.covers)
+			}
+		}
+		// Remove the chosen candidate from further consideration.
+		rest := remaining[:0:0]
+		for _, c := range remaining {
+			if c != best {
+				rest = append(rest, c)
+			}
+		}
+		remaining = rest
+	}
+	res.config = config
+	return res, nil
+}
+
+func bitsetWidth(cands []*Candidate) int {
+	n := 0
+	for _, c := range cands {
+		if c.Basic {
+			n++
+		}
+	}
+	return n
+}
+
+// searchTopDown is the paper's second algorithm: start from the DAG
+// roots (the most general candidates, maximal benefit but typically over
+// budget) and repeatedly replace the member with the worst benefit
+// density by its DAG children, until the configuration fits. Children
+// that bring no workload benefit are not added. If an over-budget member
+// has no children, it is dropped.
+func (a *Advisor) searchTopDown(dag *DAG, ev *evaluator) (*searchResult, error) {
+	res := &searchResult{}
+	alone, err := ev.standalone(dag.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	// Start configuration: all roots with positive standalone benefit.
+	var config []*Candidate
+	for _, r := range dag.Roots {
+		if alone[r.ID].Net > 0 {
+			config = append(config, r)
+		}
+	}
+	res.trace = append(res.trace, fmt.Sprintf("start with %d DAG roots (%d pages)", len(config), pagesOf(config)))
+
+	inConfig := map[int]bool{}
+	for _, c := range config {
+		inConfig[c.ID] = true
+	}
+	for !a.fitsBudget(pagesOf(config)) && len(config) > 0 {
+		// Victim: the member with the worst standalone net benefit per
+		// page (general, large, weakly used indexes go first).
+		vi := 0
+		worst := ratio(alone[config[0].ID].Net, config[0].Pages())
+		for i, c := range config[1:] {
+			if r := ratio(alone[c.ID].Net, c.Pages()); r < worst {
+				worst, vi = r, i+1
+			}
+		}
+		victim := config[vi]
+		config = append(config[:vi], config[vi+1:]...)
+		delete(inConfig, victim.ID)
+
+		added := 0
+		for _, ch := range victim.Children {
+			if inConfig[ch.ID] || alone[ch.ID].Net <= 0 {
+				continue
+			}
+			config = append(config, ch)
+			inConfig[ch.ID] = true
+			added++
+		}
+		res.trace = append(res.trace, fmt.Sprintf("replace %s by %d children (now %d pages)",
+			victim, added, pagesOf(config)))
+	}
+
+	// The children sum can still exceed the victim's size; fitsBudget
+	// loop handles that by further descents. Finally drop any members
+	// the optimizer does not use.
+	if len(config) > 0 {
+		full, err := ev.eval(config)
+		if err != nil {
+			return nil, err
+		}
+		kept := config[:0:0]
+		for _, c := range config {
+			if full.UsedSet[c.ID] {
+				kept = append(kept, c)
+			} else {
+				res.trace = append(res.trace, fmt.Sprintf("drop %s: unused", c))
+			}
+		}
+		config = kept
+	}
+	res.config = config
+	return res, nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func TestParseSearchKind(t *testing.T) {
+	for in, want := range map[string]SearchKind{
+		"greedy":           SearchGreedyHeuristic,
+		"greedy-heuristic": SearchGreedyHeuristic,
+		"heuristic":        SearchGreedyHeuristic,
+		"topdown":          SearchTopDown,
+		"top-down":         SearchTopDown,
+		"greedy-basic":     SearchGreedyBasic,
+		"basic":            SearchGreedyBasic,
+		"knapsack":         SearchGreedyBasic,
+	} {
+		got, err := ParseSearchKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSearchKind(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSearchKind("simulated-annealing"); err == nil {
+		t.Error("unknown search should fail")
+	}
+	if SearchTopDown.String() != "topdown" || SearchGreedyBasic.String() != "greedy-basic" {
+		t.Error("search names broken")
+	}
+}
+
+func TestPlainGreedyKeepsRedundantIndexes(t *testing.T) {
+	// With no budget pressure, plain greedy adds every positive-benefit
+	// candidate — including general indexes fully covered by specific
+	// ones it already picked. The heuristic search must not.
+	cat := xmarkFixture(t, 250)
+	w := datagen.XMarkWorkload(14, 12)
+
+	unused := func(kind SearchKind) int {
+		opts := DefaultOptions()
+		opts.Search = kind
+		rec, err := New(cat, opts).Recommend(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := map[string]bool{}
+		for _, qa := range rec.PerQuery {
+			for _, n := range qa.IndexesUsed {
+				used[n] = true
+			}
+		}
+		return len(rec.Config) - len(used)
+	}
+	plain := unused(SearchGreedyBasic)
+	heur := unused(SearchGreedyHeuristic)
+	if heur != 0 {
+		t.Errorf("heuristic search recommended %d unused indexes", heur)
+	}
+	if plain < heur {
+		t.Errorf("plain greedy (%d unused) should not beat heuristic (%d)", plain, heur)
+	}
+}
+
+func TestTopDownPrefersGeneralIndexes(t *testing.T) {
+	cat := xmarkFixture(t, 250)
+	w := datagen.XMarkWorkload(14, 13)
+
+	base, err := New(cat, DefaultOptions()).Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Search = SearchTopDown
+	opts.DiskBudgetPages = pagesOf(base.Config) // generous budget
+	top, err := New(cat, opts).Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wild := func(rec *Recommendation) int {
+		n := 0
+		for _, c := range rec.Config {
+			n += c.Pattern.WildcardCount() + c.Pattern.DescendantCount()
+		}
+		return n
+	}
+	// Top-down keeps configurations as general as possible: its config
+	// should carry at least as many wildcard/descendant steps.
+	if wild(top) < wild(base) {
+		t.Errorf("top-down config less general (%d) than greedy (%d)", wild(top), wild(base))
+	}
+}
+
+func TestTopDownTerminatesOnTinyBudget(t *testing.T) {
+	cat := xmarkFixture(t, 120)
+	opts := DefaultOptions()
+	opts.Search = SearchTopDown
+	opts.DiskBudgetPages = 1
+	rec, err := New(cat, opts).Recommend(datagen.XMarkWorkload(8, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TotalPages > 1 {
+		t.Errorf("budget 1 page violated: %d", rec.TotalPages)
+	}
+}
+
+func TestRatioHandlesZeroPages(t *testing.T) {
+	if r := ratio(10, 0); r != 10 {
+		t.Errorf("ratio(10, 0) = %f", r)
+	}
+	if r := ratio(-3, 2); r != -1.5 {
+		t.Errorf("ratio(-3, 2) = %f", r)
+	}
+}
+
+func TestCompressedWorkloadSameRecommendation(t *testing.T) {
+	cat := xmarkFixture(t, 150)
+	// Duplicate the workload against itself: compression halves the
+	// queries while doubling weights.
+	big := datagen.XMarkWorkload(10, 15)
+	big.Queries = append(big.Queries[:len(big.Queries):len(big.Queries)], big.Queries...)
+	compressed := big.Compress()
+	if len(compressed.Queries) >= len(big.Queries) {
+		t.Fatalf("compression did not shrink: %d vs %d", len(compressed.Queries), len(big.Queries))
+	}
+	recBig, err := New(cat, DefaultOptions()).Recommend(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSmall, err := New(cat, DefaultOptions()).Recommend(compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical leg multiset => identical configuration and net benefit.
+	if len(recBig.Config) != len(recSmall.Config) {
+		t.Errorf("config sizes differ: %d vs %d", len(recBig.Config), len(recSmall.Config))
+	}
+	if diff := recBig.NetBenefit - recSmall.NetBenefit; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("net benefit differs: %f vs %f", recBig.NetBenefit, recSmall.NetBenefit)
+	}
+	if recSmall.Evaluations >= recBig.Evaluations {
+		t.Errorf("compression did not reduce evaluations: %d vs %d", recSmall.Evaluations, recBig.Evaluations)
+	}
+}
+
+func TestRecommendationJSONExport(t *testing.T) {
+	cat := xmarkFixture(t, 120)
+	rec, err := New(cat, DefaultOptions()).Recommend(datagen.XMarkPaperWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"ddl"`, `"dag"`, `"edges"`, `"netBenefit"`, `"perQuery"`, "/site/regions/*/item/quantity"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+	var back map[string]interface{}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if _, ok := back["dag"].(map[string]interface{}); !ok {
+		t.Error("dag not an object")
+	}
+}

@@ -1,0 +1,314 @@
+// Package datagen generates the synthetic data and query workloads the
+// demonstration runs on: an XMark-like auction database [7] and a
+// TPoX-like financial database [5], both seeded and deterministic.
+//
+// The real benchmarks ship data generators we cannot vendor (and XMark
+// emits one huge document, where a DB2 XML column holds many small ones),
+// so these generators reproduce the *schemas and value distributions*
+// that matter to the advisor: the paper's example patterns — e.g.
+// /site/regions/namerica/item/quantity — exist here with realistic
+// cardinalities, skew, and cross-document variety.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/store"
+	"repro/internal/xmldoc"
+)
+
+// Regions are the XMark continent regions.
+var Regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+var firstNames = []string{
+	"Alice", "Bob", "Carla", "Dmitri", "Elena", "Farid", "Grace", "Hugo",
+	"Ines", "Jun", "Kavya", "Liam", "Mona", "Nils", "Olga", "Pavel",
+	"Quinn", "Rosa", "Sven", "Tara", "Umar", "Vera", "Wei", "Ximena",
+	"Yuki", "Zane",
+}
+
+var lastNames = []string{
+	"Anders", "Baker", "Chen", "Diaz", "Eriksen", "Fischer", "Garcia",
+	"Hansen", "Ito", "Jansen", "Kumar", "Larsen", "Meyer", "Nguyen",
+	"Okafor", "Petrov", "Quispe", "Rossi", "Schmidt", "Tanaka", "Ueda",
+	"Vogel", "Wong", "Xu", "Yilmaz", "Zhao",
+}
+
+var nouns = []string{
+	"bicycle", "lamp", "mask", "carving", "tortoise", "guitar", "kettle",
+	"rug", "vase", "compass", "telescope", "atlas", "clock", "radio",
+	"camera", "statue", "drum", "basket", "quilt", "chessboard",
+}
+
+var adjectives = []string{
+	"antique", "handmade", "rare", "vintage", "painted", "carved",
+	"gilded", "rustic", "ornate", "classic", "restored", "signed",
+	"miniature", "oversized", "ceremonial", "nautical",
+}
+
+var cities = []string{
+	"Vancouver", "Toronto", "Cairo", "Lagos", "Mumbai", "Tokyo", "Sydney",
+	"Berlin", "Madrid", "Lima", "Chicago", "Oslo", "Nairobi", "Seoul",
+}
+
+var countries = []string{
+	"Canada", "Egypt", "Nigeria", "India", "Japan", "Australia",
+	"Germany", "Spain", "Peru", "United States", "Norway", "Kenya",
+}
+
+// XMarkConfig controls the XMark-like generator.
+type XMarkConfig struct {
+	// Docs is the number of <site> documents to generate.
+	Docs int
+	// Seed drives all randomness; equal configs generate equal data.
+	Seed int64
+	// ItemsPerDoc is the mean number of items per document (default 3).
+	ItemsPerDoc int
+	// Collection is the target collection name (default "auction").
+	Collection string
+}
+
+func (c *XMarkConfig) fill() {
+	if c.Docs <= 0 {
+		c.Docs = 100
+	}
+	if c.ItemsPerDoc <= 0 {
+		c.ItemsPerDoc = 3
+	}
+	if c.Collection == "" {
+		c.Collection = "auction"
+	}
+}
+
+// GenerateXMark populates (creating if needed) the configured collection
+// in st and returns it.
+func GenerateXMark(st *store.Store, cfg XMarkConfig) (*store.Collection, error) {
+	cfg.fill()
+	col := st.Get(cfg.Collection)
+	if col == nil {
+		var err error
+		col, err = st.Create(cfg.Collection)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &xmarkGen{rng: rng, cfg: cfg}
+	for i := 0; i < cfg.Docs; i++ {
+		col.Insert(g.Document(i))
+	}
+	return col, nil
+}
+
+type xmarkGen struct {
+	rng *rand.Rand
+	cfg XMarkConfig
+	seq int
+}
+
+// Document builds one <site> document.
+func (g *xmarkGen) Document(n int) *xmldoc.Document {
+	site := xmldoc.NewElement("site")
+
+	regions := xmldoc.NewElement("regions")
+	// Regions are skewed: namerica and europe carry most items, like the
+	// original XMark distribution.
+	nItems := 1 + g.rng.Intn(2*g.cfg.ItemsPerDoc-1)
+	byRegion := map[string]*xmldoc.Node{}
+	for i := 0; i < nItems; i++ {
+		region := g.pickRegion()
+		rn := byRegion[region]
+		if rn == nil {
+			rn = xmldoc.NewElement(region)
+			byRegion[region] = rn
+			regions.AppendChild(rn)
+		}
+		rn.AppendChild(g.item())
+	}
+	site.AppendChild(regions)
+
+	people := xmldoc.NewElement("people")
+	for i := 0; i < 1+g.rng.Intn(2); i++ {
+		people.AppendChild(g.person())
+	}
+	site.AppendChild(people)
+
+	oa := xmldoc.NewElement("open_auctions")
+	for i := 0; i < g.rng.Intn(3); i++ {
+		oa.AppendChild(g.openAuction())
+	}
+	site.AppendChild(oa)
+
+	ca := xmldoc.NewElement("closed_auctions")
+	for i := 0; i < g.rng.Intn(3); i++ {
+		ca.AppendChild(g.closedAuction())
+	}
+	site.AppendChild(ca)
+
+	if g.rng.Intn(4) == 0 {
+		cats := xmldoc.NewElement("categories")
+		c := xmldoc.NewElement("category")
+		c.SetAttr("id", fmt.Sprintf("category%d", g.rng.Intn(20)))
+		c.AppendChild(xmldoc.Elem("name", g.phrase(2)))
+		cats.AppendChild(c)
+		site.AppendChild(cats)
+	}
+
+	doc := &xmldoc.Document{Name: fmt.Sprintf("site%d", n), Root: site}
+	doc.Renumber()
+	return doc
+}
+
+func (g *xmarkGen) pickRegion() string {
+	r := g.rng.Float64()
+	switch {
+	case r < 0.35:
+		return "namerica"
+	case r < 0.60:
+		return "europe"
+	case r < 0.75:
+		return "asia"
+	case r < 0.85:
+		return "africa"
+	case r < 0.95:
+		return "samerica"
+	default:
+		return "australia"
+	}
+}
+
+func (g *xmarkGen) item() *xmldoc.Node {
+	g.seq++
+	it := xmldoc.NewElement("item")
+	it.SetAttr("id", fmt.Sprintf("item%d", g.seq))
+	if g.rng.Intn(5) == 0 {
+		it.SetAttr("featured", "yes")
+	}
+	it.AppendChild(xmldoc.Elem("name", g.phrase(2)))
+	it.AppendChild(xmldoc.Elem("quantity", fmt.Sprintf("%d", 1+g.rng.Intn(10))))
+	// Prices are skewed: most items cheap, a long expensive tail.
+	price := 5 + g.rng.ExpFloat64()*120
+	it.AppendChild(xmldoc.Elem("price", fmt.Sprintf("%.2f", price)))
+	it.AppendChild(xmldoc.Elem("payment", []string{"Cash", "Creditcard", "Money order"}[g.rng.Intn(3)]))
+	it.AppendChild(xmldoc.Elem("shipping", []string{"Will ship internationally", "Buyer pays fixed shipping charges"}[g.rng.Intn(2)]))
+	loc := xmldoc.NewElement("location")
+	loc.AppendChild(xmldoc.NewText(cities[g.rng.Intn(len(cities))]))
+	it.AppendChild(loc)
+	inc := xmldoc.NewElement("incategory")
+	inc.SetAttr("category", fmt.Sprintf("category%d", g.rng.Intn(20)))
+	it.AppendChild(inc)
+	desc := xmldoc.NewElement("description")
+	desc.AppendChild(xmldoc.Elem("text", g.phrase(6+g.rng.Intn(10))))
+	it.AppendChild(desc)
+	return it
+}
+
+func (g *xmarkGen) person() *xmldoc.Node {
+	g.seq++
+	p := xmldoc.NewElement("person")
+	p.SetAttr("id", fmt.Sprintf("person%d", g.seq))
+	first := firstNames[g.rng.Intn(len(firstNames))]
+	last := lastNames[g.rng.Intn(len(lastNames))]
+	p.AppendChild(xmldoc.Elem("name", first+" "+last))
+	p.AppendChild(xmldoc.Elem("emailaddress", strings.ToLower(first)+"@example.com"))
+	if g.rng.Intn(2) == 0 {
+		p.AppendChild(xmldoc.Elem("phone", fmt.Sprintf("+1 (%d) %d-%d", 200+g.rng.Intn(700), 100+g.rng.Intn(900), 1000+g.rng.Intn(9000))))
+	}
+	addr := xmldoc.NewElement("address")
+	addr.AppendChild(xmldoc.Elem("city", cities[g.rng.Intn(len(cities))]))
+	addr.AppendChild(xmldoc.Elem("country", countries[g.rng.Intn(len(countries))]))
+	p.AppendChild(addr)
+	prof := xmldoc.NewElement("profile")
+	prof.SetAttr("income", fmt.Sprintf("%d", 20000+g.rng.Intn(120000)))
+	interest := xmldoc.NewElement("interest")
+	interest.SetAttr("category", fmt.Sprintf("category%d", g.rng.Intn(20)))
+	prof.AppendChild(interest)
+	prof.AppendChild(xmldoc.Elem("education", []string{"High School", "College", "Graduate School", "Other"}[g.rng.Intn(4)]))
+	p.AppendChild(prof)
+	if g.rng.Intn(3) == 0 {
+		p.AppendChild(xmldoc.Elem("creditcard", fmt.Sprintf("%d %d %d %d", 1000+g.rng.Intn(9000), 1000+g.rng.Intn(9000), 1000+g.rng.Intn(9000), 1000+g.rng.Intn(9000))))
+	}
+	return p
+}
+
+func (g *xmarkGen) openAuction() *xmldoc.Node {
+	g.seq++
+	a := xmldoc.NewElement("open_auction")
+	a.SetAttr("id", fmt.Sprintf("open_auction%d", g.seq))
+	initial := 1 + g.rng.ExpFloat64()*80
+	a.AppendChild(xmldoc.Elem("initial", fmt.Sprintf("%.2f", initial)))
+	cur := initial
+	nBids := g.rng.Intn(4)
+	for i := 0; i < nBids; i++ {
+		b := xmldoc.NewElement("bidder")
+		b.AppendChild(xmldoc.Elem("date", g.date(2007, 2008)))
+		inc := 1 + g.rng.ExpFloat64()*15
+		cur += inc
+		b.AppendChild(xmldoc.Elem("increase", fmt.Sprintf("%.2f", inc)))
+		ref := xmldoc.NewElement("personref")
+		ref.SetAttr("person", fmt.Sprintf("person%d", 1+g.rng.Intn(5000)))
+		b.AppendChild(ref)
+		a.AppendChild(b)
+	}
+	a.AppendChild(xmldoc.Elem("current", fmt.Sprintf("%.2f", cur)))
+	ir := xmldoc.NewElement("itemref")
+	ir.SetAttr("item", fmt.Sprintf("item%d", 1+g.rng.Intn(10000)))
+	a.AppendChild(ir)
+	sl := xmldoc.NewElement("seller")
+	sl.SetAttr("person", fmt.Sprintf("person%d", 1+g.rng.Intn(5000)))
+	a.AppendChild(sl)
+	a.AppendChild(xmldoc.Elem("quantity", fmt.Sprintf("%d", 1+g.rng.Intn(5))))
+	iv := xmldoc.NewElement("interval")
+	iv.AppendChild(xmldoc.Elem("start", g.date(2007, 2008)))
+	iv.AppendChild(xmldoc.Elem("end", g.date(2008, 2009)))
+	a.AppendChild(iv)
+	return a
+}
+
+func (g *xmarkGen) closedAuction() *xmldoc.Node {
+	g.seq++
+	a := xmldoc.NewElement("closed_auction")
+	sl := xmldoc.NewElement("seller")
+	sl.SetAttr("person", fmt.Sprintf("person%d", 1+g.rng.Intn(5000)))
+	a.AppendChild(sl)
+	by := xmldoc.NewElement("buyer")
+	by.SetAttr("person", fmt.Sprintf("person%d", 1+g.rng.Intn(5000)))
+	a.AppendChild(by)
+	ir := xmldoc.NewElement("itemref")
+	ir.SetAttr("item", fmt.Sprintf("item%d", 1+g.rng.Intn(10000)))
+	a.AppendChild(ir)
+	a.AppendChild(xmldoc.Elem("price", fmt.Sprintf("%.2f", 5+g.rng.ExpFloat64()*150)))
+	a.AppendChild(xmldoc.Elem("date", g.date(2006, 2008)))
+	a.AppendChild(xmldoc.Elem("quantity", fmt.Sprintf("%d", 1+g.rng.Intn(5))))
+	a.AppendChild(xmldoc.Elem("type", []string{"Regular", "Featured"}[g.rng.Intn(2)]))
+	return a
+}
+
+func (g *xmarkGen) phrase(words int) string {
+	var sb strings.Builder
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if i%2 == 0 {
+			sb.WriteString(adjectives[g.rng.Intn(len(adjectives))])
+		} else {
+			sb.WriteString(nouns[g.rng.Intn(len(nouns))])
+		}
+	}
+	return sb.String()
+}
+
+func (g *xmarkGen) date(fromYear, toYear int) string {
+	year := fromYear + g.rng.Intn(toYear-fromYear+1)
+	return fmt.Sprintf("%04d-%02d-%02d", year, 1+g.rng.Intn(12), 1+g.rng.Intn(28))
+}
+
+// XMarkDocXML returns one generated <site> document as XML text, for
+// insert-update workloads.
+func XMarkDocXML(seed int64) string {
+	g := &xmarkGen{rng: rand.New(rand.NewSource(seed)), cfg: XMarkConfig{ItemsPerDoc: 3}}
+	return g.Document(0).Serialize()
+}

@@ -1,0 +1,84 @@
+package executor
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/optimizer"
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+	"repro/internal/store"
+)
+
+// TestWorkloadEquivalenceUnderIndexes is the central executor soundness
+// property: for every generated workload query, the indexed plan returns
+// exactly the rows a full document scan returns, whatever indexes exist.
+func TestWorkloadEquivalenceUnderIndexes(t *testing.T) {
+	st := store.New()
+	if _, err := datagen.GenerateXMark(st, datagen.XMarkConfig{Docs: 300, Seed: 77}); err != nil {
+		t.Fatal(err)
+	}
+	if err := datagen.GenerateTPoX(st, datagen.TPoXConfig{Securities: 30, Seed: 77}); err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New(st)
+	for i, d := range []struct {
+		coll, pat string
+		ty        sqltype.Type
+	}{
+		{"auction", "/site/regions/*/item/quantity", sqltype.Double},
+		{"auction", "/site/regions/*/item/price", sqltype.Double},
+		{"auction", "/site/regions/*/item/name", sqltype.Varchar},
+		{"auction", "/site/regions/*/item/location", sqltype.Varchar},
+		{"auction", "/site/people/person/profile/@income", sqltype.Double},
+		{"auction", "/site/open_auctions/open_auction/initial", sqltype.Double},
+		{"auction", "/site/closed_auctions/closed_auction/price", sqltype.Double},
+		{"auction", "/site/closed_auctions/closed_auction/date", sqltype.Date},
+		{"auction", "//@category", sqltype.Varchar},
+		{"security", "/Security/Symbol", sqltype.Varchar},
+		{"security", "/Security/SecurityInformation/Sector", sqltype.Varchar},
+		{"security", "/Security/Price/LastTrade", sqltype.Double},
+		{"security", "/Security/PE", sqltype.Double},
+		{"order", "/FIXML/Order/@Acct", sqltype.Varchar},
+		{"order", "/FIXML/Order/OrdQty/@Qty", sqltype.Double},
+		{"order", "/FIXML/Order/Instrmt/@Sym", sqltype.Varchar},
+		{"custacc", "/Customer/Nationality", sqltype.Varchar},
+		{"custacc", "/Customer/DateOfBirth", sqltype.Date},
+		{"custacc", "//Account/Balance/OnlineActualBal/Amount", sqltype.Double},
+	} {
+		if _, err := cat.CreateIndex("PX"+string(rune('A'+i)), d.coll, pattern.MustParse(d.pat), d.ty); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o := optimizer.New(cat)
+	ex := New(cat)
+
+	queries := append(datagen.XMarkWorkload(40, 13).Queries, datagen.TPoXWorkload(27, 13, 30).Queries...)
+	indexedPlans := 0
+	for _, e := range queries {
+		scan, err := ex.Run(e.Query, nil)
+		if err != nil {
+			t.Fatalf("%s (%s): %v", e.Query.ID, e.Query.Text, err)
+		}
+		plan, err := o.Optimize(e.Query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := ex.Run(e.Query, plan)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Query.ID, err)
+		}
+		if scan.Rows != idx.Rows {
+			t.Errorf("%s: scan=%d indexed=%d\n  query: %s\n  plan: %s",
+				e.Query.ID, scan.Rows, idx.Rows, e.Query.Text, plan.Describe())
+		}
+		if plan.UsesIndexes() {
+			indexedPlans++
+		}
+	}
+	if indexedPlans == 0 {
+		t.Error("no query used an index; the property test exercised nothing")
+	}
+	t.Logf("indexed plans: %d of %d queries", indexedPlans, len(queries))
+}

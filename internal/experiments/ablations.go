@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// E9CouplingAblation compares the paper's optimizer-coupled candidate
+// enumeration with a loosely coupled syntactic baseline that scrapes
+// paths from the query text: the baseline cannot infer SQL types or
+// exclude non-matchable patterns, so its recommendations are larger and
+// weaker — the paper's motivation for tight coupling (§2).
+func E9CouplingAblation(env *Env) (string, error) {
+	t := newTable("E9: optimizer-coupled vs syntactic candidate enumeration",
+		"enumeration", "#basic", "#idx", "pages", "net benefit", "#unused")
+	for _, mode := range []core.EnumerationMode{core.EnumOptimizer, core.EnumSyntactic} {
+		name := "optimizer"
+		if mode == core.EnumSyntactic {
+			name = "syntactic"
+		}
+		opts := core.DefaultOptions()
+		opts.Enumeration = mode
+		a := env.advisor(opts)
+		rec, err := a.Recommend(env.XMarkWorkload)
+		if err != nil {
+			return "", err
+		}
+		used := map[string]bool{}
+		for _, qa := range rec.PerQuery {
+			for _, n := range qa.IndexesUsed {
+				used[n] = true
+			}
+		}
+		t.add(name, len(rec.Basics), len(rec.Config), rec.TotalPages, rec.NetBenefit,
+			len(rec.Config)-len(used))
+	}
+	return t.String(), nil
+}
+
+// E10InteractionAblation measures interaction-aware benefit estimation
+// (paper §2.3: "the benefit of an index can change depending on which
+// other indexes are available"): greedy search with marginal
+// re-evaluation vs standalone benefits.
+func E10InteractionAblation(env *Env) (string, error) {
+	over, err := overtrainedPages(env, env.XMarkWorkload)
+	if err != nil {
+		return "", err
+	}
+	t := newTable("E10: index-interaction-aware greedy vs standalone-benefit greedy",
+		"interaction", "budget", "#idx", "pages", "net benefit", "evaluations")
+	for _, frac := range []float64{0.25, 0.5} {
+		budget := int64(float64(over) * frac)
+		for _, aware := range []bool{false, true} {
+			opts := core.DefaultOptions()
+			opts.InteractionAware = aware
+			opts.DiskBudgetPages = budget
+			a := env.advisor(opts)
+			rec, err := a.Recommend(env.XMarkWorkload)
+			if err != nil {
+				return "", err
+			}
+			t.add(boolName(aware), budget, len(rec.Config), rec.TotalPages, rec.NetBenefit, rec.Evaluations)
+		}
+	}
+	return t.String(), nil
+}
+
+func boolName(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// E11AdvisorScalability measures advisor runtime, optimizer-evaluation
+// count, and candidate-set growth as the workload grows — the advisor's
+// own cost, which a DBA-facing tool must keep manageable.
+func E11AdvisorScalability(env *Env) (string, error) {
+	t := newTable("E11: advisor runtime vs workload size",
+		"#queries", "#basic", "#cands", "#idx", "evaluations", "runtime")
+	for _, n := range []int{5, 10, 20, 40, 80} {
+		w := datagen.XMarkWorkload(n, 1)
+		a := env.advisor(core.DefaultOptions())
+		rec, err := a.Recommend(w)
+		if err != nil {
+			return "", err
+		}
+		t.add(n, len(rec.Basics), len(rec.DAG.Nodes), len(rec.Config),
+			rec.Evaluations, rec.Elapsed.Round(time.Millisecond).String())
+	}
+	return t.String(), nil
+}
+
+// All runs every experiment at the given scale, returning the reports in
+// order E1..E10.
+func All(s Scale) ([]string, error) {
+	env, err := BuildEnv(s)
+	if err != nil {
+		return nil, err
+	}
+	type exp struct {
+		name string
+		fn   func(*Env) (string, error)
+	}
+	exps := []exp{
+		{"E1", E1EnumerateIndexes},
+		{"E2", E2EvaluateIndexes},
+		{"E3", E3GeneralizationDAG},
+		{"E4", E4RecommendationAnalysis},
+		{"E5", E5UnseenWorkload},
+		{"E6", E6SearchStrategies},
+		{"E7", E7UpdateCost},
+		{"E8", E8ActualExecution},
+		{"E9", E9CouplingAblation},
+		{"E10", E10InteractionAblation},
+		{"E11", E11AdvisorScalability},
+	}
+	var out []string
+	for _, e := range exps {
+		rep, err := e.fn(env)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func env(t testing.TB) *Env {
+	t.Helper()
+	e, err := BuildEnv(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestE1(t *testing.T) {
+	rep, err := E1EnumerateIndexes(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "Enumerate Indexes") || !strings.Contains(rep, "total candidates") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestE2(t *testing.T) {
+	rep, err := E2EvaluateIndexes(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"none", "exact-quantity", "general-quantity", "qty+price"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("missing config %q in:\n%s", want, rep)
+		}
+	}
+}
+
+func TestE3(t *testing.T) {
+	rep, err := E3GeneralizationDAG(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4's content: the paper's generalized patterns must appear.
+	if !strings.Contains(rep, "/site/regions/*/item/quantity") {
+		t.Errorf("missing paper generalization in:\n%s", rep)
+	}
+	if !strings.Contains(rep, "topdown") && !strings.Contains(rep, "greedy") {
+		t.Errorf("missing search traces in:\n%s", rep)
+	}
+}
+
+func TestE4(t *testing.T) {
+	rep, err := E4RecommendationAnalysis(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "overtrained") || !strings.Contains(rep, "weighted totals") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestE5(t *testing.T) {
+	rep, err := E5UnseenWorkload(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "test benefit") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestE6(t *testing.T) {
+	rep, err := E6SearchStrategies(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"greedy-basic", "greedy-heuristic", "topdown"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("missing %q in:\n%s", want, rep)
+		}
+	}
+}
+
+func TestE7(t *testing.T) {
+	rep, err := E7UpdateCost(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "update cost") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestE8(t *testing.T) {
+	rep, err := E8ActualExecution(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "speedup") || !strings.Contains(rep, "geometric-mean") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestE9(t *testing.T) {
+	rep, err := E9CouplingAblation(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "optimizer") || !strings.Contains(rep, "syntactic") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestE10(t *testing.T) {
+	rep, err := E10InteractionAblation(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "evaluations") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestEnvDeterministicAndCached(t *testing.T) {
+	a, err := BuildEnv(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := BuildEnv(Small)
+	if a != b {
+		t.Error("env not cached")
+	}
+	if a.Store.Get("auction") == nil || a.Store.Get("security") == nil {
+		t.Error("collections missing")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := newTable("title", "a", "bb")
+	tb.add("x", 1)
+	tb.add("longer", 2.5)
+	s := tb.String()
+	if !strings.Contains(s, "title") || !strings.Contains(s, "longer") || !strings.Contains(s, "2.5") {
+		t.Errorf("table:\n%s", s)
+	}
+}
+
+func TestE11(t *testing.T) {
+	rep, err := E11AdvisorScalability(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "runtime") || !strings.Contains(rep, "80") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	reports, err := All(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 11 {
+		t.Fatalf("All returned %d reports, want 11", len(reports))
+	}
+	for i, r := range reports {
+		if r == "" {
+			t.Errorf("report %d empty", i)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+)
+
+// E1EnumerateIndexes reproduces the Enumerate Indexes demonstration
+// (paper Figure 2): for each workload query, the basic candidate indexes
+// the optimizer enumerates through the //* virtual index.
+func E1EnumerateIndexes(env *Env) (string, error) {
+	opt := env.optimizer()
+	t := newTable("E1: Enumerate Indexes mode — basic candidates per query (Figure 2)",
+		"query", "lang", "#cands", "sample candidates")
+	total := 0
+	for _, e := range env.XMarkWorkload.Queries[:10] {
+		cands, err := opt.EnumerateIndexes(e.Query)
+		if err != nil {
+			return "", err
+		}
+		total += len(cands)
+		t.add("X"+strings.TrimPrefix(e.Query.ID, "Q"), e.Query.Lang.String(), len(cands), candList(cands, 2))
+	}
+	for _, e := range env.TPoXWorkload.Queries[:9] {
+		cands, err := opt.EnumerateIndexes(e.Query)
+		if err != nil {
+			return "", err
+		}
+		total += len(cands)
+		t.add("T"+strings.TrimPrefix(e.Query.ID, "Q"), e.Query.Lang.String(), len(cands), candList(cands, 2))
+	}
+	return t.String() + fmt.Sprintf("total candidates enumerated: %d\n", total), nil
+}
+
+func candList(cands []optimizer.Candidate, max int) string {
+	var parts []string
+	for i, c := range cands {
+		if i >= max {
+			parts = append(parts, fmt.Sprintf("+%d more", len(cands)-max))
+			break
+		}
+		parts = append(parts, c.String())
+	}
+	return strings.Join(parts, "; ")
+}
+
+// E2EvaluateIndexes reproduces the Evaluate Indexes demonstration (paper
+// Figure 3): the estimated cost of queries under hand-picked virtual
+// index configurations, without building anything.
+func E2EvaluateIndexes(env *Env) (string, error) {
+	opt := env.optimizer()
+	st, err := opt.Cat.Stats("auction")
+	if err != nil {
+		return "", err
+	}
+	mk := func(name, pat string, ty sqltype.Type) *catalog.IndexDef {
+		return catalog.VirtualDef(name, "auction", pattern.MustParse(pat), ty, st)
+	}
+	configs := []struct {
+		name string
+		defs []*catalog.IndexDef
+	}{
+		{"none", nil},
+		{"exact-quantity", []*catalog.IndexDef{mk("V_QTY", "/site/regions/namerica/item/quantity", sqltype.Double)}},
+		{"general-quantity", []*catalog.IndexDef{mk("V_GQTY", "/site/regions/*/item/quantity", sqltype.Double)}},
+		{"item-star", []*catalog.IndexDef{mk("V_ITEM", "/site/regions/*/item/*", sqltype.Double)}},
+		{"qty+price", []*catalog.IndexDef{
+			mk("V_GQTY", "/site/regions/*/item/quantity", sqltype.Double),
+			mk("V_GPRC", "/site/regions/*/item/price", sqltype.Double),
+		}},
+	}
+	t := newTable("E2: Evaluate Indexes mode — estimated cost per configuration (Figure 3)",
+		"query", "config", "est cost", "benefit", "indexes used")
+	for _, e := range env.PaperWorkload.Queries {
+		for _, cfg := range configs {
+			ev, err := opt.EvaluateIndexes(e.Query, cfg.defs, true)
+			if err != nil {
+				return "", err
+			}
+			t.add(e.Query.ID, cfg.name, ev.Cost, ev.Benefit, strings.Join(ev.UsedIndexes, ","))
+		}
+	}
+	return t.String(), nil
+}

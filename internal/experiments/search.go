@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// overtrainedPages runs the advisor without a budget and returns the
+// size of the all-basic-candidates configuration, the sweep baseline.
+func overtrainedPages(env *Env, w *workload.Workload) (int64, error) {
+	opts := core.DefaultOptions()
+	a := env.advisor(opts)
+	rec, err := a.Recommend(w)
+	if err != nil {
+		return 0, err
+	}
+	var pages int64
+	for _, c := range rec.Basics {
+		pages += c.Pages()
+	}
+	if pages == 0 {
+		pages = 1
+	}
+	return pages, nil
+}
+
+// E3GeneralizationDAG reproduces the candidate DAG view (paper Figure 4):
+// the size and shape of the generalized candidate set and how each
+// search algorithm traverses it.
+func E3GeneralizationDAG(env *Env) (string, error) {
+	var sb strings.Builder
+	a := env.advisor(core.DefaultOptions())
+	rec, err := a.Recommend(env.PaperWorkload)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&sb, "E3: candidate generalization DAG (Figure 4), paper workload\n")
+	sb.WriteString(rec.DAG.Render())
+	sb.WriteString("\nsearch traces:\n")
+
+	for _, kind := range []core.SearchKind{core.SearchGreedyHeuristic, core.SearchTopDown} {
+		opts := core.DefaultOptions()
+		opts.Search = kind
+		over, err := overtrainedPages(env, env.XMarkWorkload)
+		if err != nil {
+			return "", err
+		}
+		opts.DiskBudgetPages = over / 2
+		a := env.advisor(opts)
+		r, err := a.Recommend(env.XMarkWorkload)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "\n[%s] budget=%d pages -> %d indexes, %d pages, net %.1f\n",
+			kind, opts.DiskBudgetPages, len(r.Config), r.TotalPages, r.NetBenefit)
+		for _, line := range r.Trace {
+			fmt.Fprintf(&sb, "  %s\n", line)
+		}
+	}
+	return sb.String(), nil
+}
+
+// E4RecommendationAnalysis reproduces the recommendation analysis screen
+// (paper Figure 5): per query, the original cost, the cost under the
+// recommended configuration, and the cost under the overtrained
+// configuration of all basic candidates.
+func E4RecommendationAnalysis(env *Env) (string, error) {
+	over, err := overtrainedPages(env, env.XMarkWorkload)
+	if err != nil {
+		return "", err
+	}
+	opts := core.DefaultOptions()
+	opts.DiskBudgetPages = over / 2
+	a := env.advisor(opts)
+	rec, err := a.Recommend(env.XMarkWorkload)
+	if err != nil {
+		return "", err
+	}
+	t := newTable(fmt.Sprintf("E4: recommendation analysis (Figure 5) — budget %d pages, recommended %d pages",
+		opts.DiskBudgetPages, rec.TotalPages),
+		"query", "weight", "no-index", "recommended", "overtrained", "indexes")
+	for _, qa := range rec.PerQuery {
+		t.add(qa.ID, qa.Weight, qa.CostNoIndexes, qa.CostRecommended, qa.CostOvertrained,
+			strings.Join(qa.IndexesUsed, ","))
+	}
+	var recTot, overTot, noTot float64
+	for _, qa := range rec.PerQuery {
+		noTot += qa.Weight * qa.CostNoIndexes
+		recTot += qa.Weight * qa.CostRecommended
+		overTot += qa.Weight * qa.CostOvertrained
+	}
+	return t.String() + fmt.Sprintf(
+		"weighted totals: no-index %.1f, recommended %.1f (%.0f%% of max benefit), overtrained %.1f\n",
+		noTot, recTot, pct(noTot-recTot, noTot-overTot), overTot), nil
+}
+
+func pct(x, of float64) float64 {
+	if of == 0 {
+		return 100
+	}
+	return 100 * x / of
+}
+
+// E5UnseenWorkload reproduces the demo's "add more queries beyond the
+// input workload" analysis: train the advisor on a subset and measure
+// benefit on held-out queries, with generalization on vs off — the
+// argument for recommending generalized configurations.
+func E5UnseenWorkload(env *Env) (string, error) {
+	full := env.XMarkWorkload
+	train, test := full.Split(0.6, 99)
+	if len(train.Queries) == 0 || len(test.Queries) == 0 {
+		return "", fmt.Errorf("degenerate split")
+	}
+	t := newTable("E5: benefit on unseen queries (train 60% / test 40%)",
+		"search", "generalize", "#idx", "pages", "train benefit", "test benefit")
+	for _, kind := range []core.SearchKind{core.SearchGreedyHeuristic, core.SearchTopDown} {
+		for _, gen := range []bool{false, true} {
+			opts := core.DefaultOptions()
+			opts.Search = kind
+			opts.Generalize = gen
+			a := env.advisor(opts)
+			rec, err := a.Recommend(train)
+			if err != nil {
+				return "", err
+			}
+			trainNo, trainWith, err := a.EvaluateOn(train, rec.Config)
+			if err != nil {
+				return "", err
+			}
+			testNo, testWith, err := a.EvaluateOn(test, rec.Config)
+			if err != nil {
+				return "", err
+			}
+			t.add(kind.String(), fmt.Sprint(gen), len(rec.Config), rec.TotalPages,
+				trainNo-trainWith, testNo-testWith)
+		}
+	}
+	return t.String(), nil
+}
+
+// E6SearchStrategies compares the three search algorithms across a disk
+// budget sweep (paper §2.3): plain greedy [8] vs greedy with redundancy
+// heuristics vs top-down, reporting net benefit and how many recommended
+// indexes the optimizer never uses (redundant picks).
+func E6SearchStrategies(env *Env) (string, error) {
+	over, err := overtrainedPages(env, env.XMarkWorkload)
+	if err != nil {
+		return "", err
+	}
+	t := newTable("E6: search strategies across disk budgets (fractions of overtrained size)",
+		"budget%", "search", "#idx", "pages", "net benefit", "#unused")
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		budget := int64(float64(over) * frac)
+		if budget < 1 {
+			budget = 1
+		}
+		for _, kind := range []core.SearchKind{core.SearchGreedyBasic, core.SearchGreedyHeuristic, core.SearchTopDown} {
+			opts := core.DefaultOptions()
+			opts.Search = kind
+			opts.DiskBudgetPages = budget
+			a := env.advisor(opts)
+			rec, err := a.Recommend(env.XMarkWorkload)
+			if err != nil {
+				return "", err
+			}
+			used := map[string]bool{}
+			for _, qa := range rec.PerQuery {
+				for _, n := range qa.IndexesUsed {
+					used[n] = true
+				}
+			}
+			unused := len(rec.Config) - len(used)
+			t.add(int(frac*100), kind.String(), len(rec.Config), rec.TotalPages, rec.NetBenefit, unused)
+		}
+	}
+	return t.String(), nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/executor"
+	"repro/internal/optimizer"
+)
+
+// E7UpdateCost reproduces the update-cost analysis (paper §1: "taking
+// into account the cost of updating the index on data modification"):
+// as the update share of the workload grows, maintenance eats into net
+// benefit and the advisor recommends fewer/smaller indexes.
+func E7UpdateCost(env *Env) (string, error) {
+	t := newTable("E7: recommendation vs update share (update weight as multiple of query weight)",
+		"upd:qry ratio", "#idx", "pages", "query benefit", "update cost", "net benefit")
+	for _, ratio := range []float64{0, 1, 5, 20, 50, 100} {
+		w := datagen.XMarkWorkload(20, 1)
+		if ratio > 0 {
+			datagen.XMarkUpdates(w, ratio*w.TotalQueryWeight(), 1)
+		}
+		a := env.advisor(core.DefaultOptions())
+		rec, err := a.Recommend(w)
+		if err != nil {
+			return "", err
+		}
+		t.add(fmt.Sprintf("%.1f", ratio), len(rec.Config), rec.TotalPages,
+			rec.QueryBenefit, rec.UpdateCost, rec.NetBenefit)
+	}
+	return t.String(), nil
+}
+
+// E8ActualExecution reproduces the demo's final step: materialize the
+// recommended configuration and display actual execution times, doc scan
+// vs indexed plan, per query.
+func E8ActualExecution(env *Env) (string, error) {
+	cat := env.freshCatalog()
+	a := core.New(cat, core.DefaultOptions())
+	w := env.XMarkWorkload
+	rec, err := a.Recommend(w)
+	if err != nil {
+		return "", err
+	}
+	if _, err := a.Materialize(rec); err != nil {
+		return "", err
+	}
+	opt := optimizer.New(cat)
+	ex := executor.New(cat)
+
+	t := newTable("E8: actual execution, no indexes vs recommended configuration (demo final step)",
+		"query", "rows", "scan µs", "indexed µs", "speedup", "scan nodes", "idx nodes", "plan")
+	var logSum float64
+	var n int
+	for _, e := range w.Queries {
+		scanRes, err := ex.Run(e.Query, nil)
+		if err != nil {
+			return "", err
+		}
+		plan, err := opt.Optimize(e.Query, nil)
+		if err != nil {
+			return "", err
+		}
+		idxRes, err := ex.Run(e.Query, plan)
+		if err != nil {
+			return "", err
+		}
+		if scanRes.Rows != idxRes.Rows {
+			return "", fmt.Errorf("E8: result mismatch on %s: %d vs %d", e.Query.ID, scanRes.Rows, idxRes.Rows)
+		}
+		su := float64(scanRes.Metrics.Duration.Microseconds()+1) / float64(idxRes.Metrics.Duration.Microseconds()+1)
+		kind := "DOCSCAN"
+		if plan.UsesIndexes() {
+			kind = "IXSCAN(" + strings.Join(plan.IndexNames(), ",") + ")"
+			logSum += math.Log(su)
+			n++
+		}
+		t.add(e.Query.ID, scanRes.Rows,
+			scanRes.Metrics.Duration.Microseconds(), idxRes.Metrics.Duration.Microseconds(),
+			fmt.Sprintf("%.1fx", su),
+			scanRes.Metrics.NodesVisited, idxRes.Metrics.NodesVisited, kind)
+	}
+	geo := 1.0
+	if n > 0 {
+		geo = math.Exp(logSum / float64(n))
+	}
+	return t.String() + fmt.Sprintf("geometric-mean speedup over indexed queries: %.1fx (%d of %d queries use indexes)\n",
+		geo, n, len(w.Queries)), nil
+}

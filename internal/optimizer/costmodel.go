@@ -1,0 +1,64 @@
+package optimizer
+
+import "math"
+
+// CostModel holds the constants of the cost model, in abstract "timeron"
+// units. The defaults follow the usual textbook ratios: a random page
+// read costs twice a sequential one, and CPU work per node/entry is three
+// orders of magnitude below an I/O.
+type CostModel struct {
+	// IOPage is the cost of one sequential page read.
+	IOPage float64
+	// IORandom is the cost of one random page read (index descents,
+	// document fetches).
+	IORandom float64
+	// CPUNode is the navigation cost per document node visited.
+	CPUNode float64
+	// CPUEntry is the processing cost per index entry scanned.
+	CPUEntry float64
+	// CPUPathCheck is the extra per-entry cost of re-verifying the
+	// rooted path of an entry against a query pattern when the index
+	// pattern is strictly more general than the leg pattern.
+	CPUPathCheck float64
+	// MaintPerEntry is the cost of one index entry insert/delete during
+	// data modification (B+ tree descent plus leaf update, amortized).
+	MaintPerEntry float64
+}
+
+// DefaultCost is the cost model used unless a caller overrides it.
+// CPUNode is deliberately high relative to CPUEntry: navigating parsed XML
+// (node tests, predicate evaluation) is the dominant CPU cost in native
+// XML stores, which is exactly why value indexes pay off.
+var DefaultCost = CostModel{
+	IOPage:       1.0,
+	IORandom:     2.0,
+	CPUNode:      0.01,
+	CPUEntry:     0.001,
+	CPUPathCheck: 0.0005,
+	// An index entry insert/delete pays a tree descent plus a leaf
+	// write, i.e. a couple of random I/Os amortized over buffering.
+	MaintPerEntry: 2.0,
+}
+
+// entriesPerLeafPage approximates B+ tree leaf capacity for costing
+// (matching xindex.DefaultOrder at the default fill factor).
+const entriesPerLeafPage = 90.0
+
+// yaoDocs estimates how many distinct documents hold k uniformly spread
+// matches, out of d documents (Cardenas/Yao approximation).
+func yaoDocs(d, k float64) float64 {
+	if d <= 0 || k <= 0 {
+		return 0
+	}
+	est := d * (1 - math.Exp(k*math.Log1p(-1/d)))
+	if d <= 1 {
+		est = math.Min(k, d)
+	}
+	if est > d {
+		est = d
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}

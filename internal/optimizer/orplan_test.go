@@ -1,0 +1,112 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+)
+
+func TestIndexORingChosenForPureOr(t *testing.T) {
+	cat := newFixture(t, 800)
+	cat.CreateIndex("IP", "items", pattern.MustParse("/site/regions/*/item/price"), sqltype.Double)
+	cat.CreateIndex("IQ", "items", pattern.MustParse("/site/regions/*/item/quantity"), sqltype.Double)
+	o := New(cat)
+	// Both disjuncts are selective; the union is still far smaller than
+	// the collection, so index ORing should beat a scan.
+	q := mustQuery(t, `for $i in collection("items")/site/regions/*/item where $i/price = 7 or $i/price = 14 return $i`)
+	plan, err := o.Optimize(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.UsesIndexes() {
+		t.Fatalf("expected an index plan: %s", plan.Describe())
+	}
+	var orAnchor *LegAccess
+	for i := range plan.Access {
+		if plan.Access[i].IsOr() {
+			orAnchor = &plan.Access[i]
+		}
+	}
+	if orAnchor == nil {
+		t.Fatalf("expected an IXOR anchor: %s", plan.Describe())
+	}
+	if len(orAnchor.Members) != 2 {
+		t.Errorf("OR members = %d, want 2", len(orAnchor.Members))
+	}
+	if !strings.Contains(plan.Describe(), "IXOR") {
+		t.Errorf("Describe misses IXOR: %s", plan.Describe())
+	}
+}
+
+func TestIndexORingNeedsAllMembersCovered(t *testing.T) {
+	cat := newFixture(t, 500)
+	// Only the price index exists; the quantity disjunct is uncovered.
+	cat.CreateIndex("IP", "items", pattern.MustParse("/site/regions/*/item/price"), sqltype.Double)
+	o := New(cat)
+	q := mustQuery(t, `for $i in collection("items")/site/regions/*/item where $i/price = 7 or $i/quantity = 3 return $i`)
+	plan, err := o.Optimize(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plan.Access {
+		if a.IsOr() {
+			t.Fatalf("incomplete OR group must not produce an IXOR anchor: %s", plan.Describe())
+		}
+	}
+}
+
+func TestImpureOrGetsNoGroup(t *testing.T) {
+	// An AND nested inside the OR makes union semantics wrong for index
+	// ORing; no group may be assigned.
+	q := mustQuery(t, `for $i in collection("items")/site/item where $i/a = 1 or ($i/b = 2 and $i/c = 3) return $i`)
+	for _, l := range q.Legs() {
+		if l.OrGroup != 0 {
+			t.Errorf("impure OR leg %s has group %d", l, l.OrGroup)
+		}
+	}
+}
+
+func TestPureOrGroupAssignment(t *testing.T) {
+	q := mustQuery(t, `for $i in collection("items")/site/item where ($i/a = 1 or $i/b = 2 or $i/c = 3) and $i/d = 4 return $i`)
+	groups := map[int]int{}
+	for _, l := range q.Legs() {
+		if l.OrGroup > 0 {
+			groups[l.OrGroup]++
+		}
+		if l.Op == sqltype.Eq && l.Value.F == 4 && l.OrGroup != 0 {
+			t.Error("conjunctive leg must not be grouped")
+		}
+	}
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v, want one group", groups)
+	}
+	for _, n := range groups {
+		if n != 3 {
+			t.Errorf("group size = %d, want 3", n)
+		}
+	}
+}
+
+func TestNotOrGetsNoGroup(t *testing.T) {
+	q := mustQuery(t, `for $i in collection("items")/site/item where not($i/a = 1 or $i/b = 2) return $i`)
+	for _, l := range q.Legs() {
+		if l.OrGroup != 0 {
+			t.Errorf("negated OR leg %s has group %d", l, l.OrGroup)
+		}
+	}
+}
+
+func TestTwoIndependentOrGroups(t *testing.T) {
+	q := mustQuery(t, `for $i in collection("items")/site/item where ($i/a = 1 or $i/b = 2) and ($i/c = 3 or $i/d = 4) return $i`)
+	groups := map[int]int{}
+	for _, l := range q.Legs() {
+		if l.OrGroup > 0 {
+			groups[l.OrGroup]++
+		}
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want two", groups)
+	}
+}

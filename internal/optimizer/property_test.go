@@ -1,0 +1,154 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+	"repro/internal/store"
+)
+
+// xmarkCatalog builds a catalog over generated XMark data plus a pool of
+// plausible virtual index definitions.
+func xmarkCatalog(t testing.TB, docs int) (*catalog.Catalog, []*catalog.IndexDef) {
+	t.Helper()
+	st := store.New()
+	if _, err := datagen.GenerateXMark(st, datagen.XMarkConfig{Docs: docs, Seed: 21}); err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New(st)
+	s, err := cat.Stats("auction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := []*catalog.IndexDef{}
+	defs := []struct {
+		pat string
+		ty  sqltype.Type
+	}{
+		{"/site/regions/*/item/quantity", sqltype.Double},
+		{"/site/regions/*/item/price", sqltype.Double},
+		{"/site/regions/*/item/*", sqltype.Double},
+		{"/site/regions/*/item/name", sqltype.Varchar},
+		{"/site/regions/*/item/location", sqltype.Varchar},
+		{"/site/regions/*/item", sqltype.Varchar},
+		{"/site/people/person/profile/@income", sqltype.Double},
+		{"/site/open_auctions/open_auction/initial", sqltype.Double},
+		{"/site/open_auctions/open_auction/bidder/increase", sqltype.Double},
+		{"/site/closed_auctions/closed_auction/price", sqltype.Double},
+		{"/site/closed_auctions/closed_auction/date", sqltype.Date},
+		{"//@category", sqltype.Varchar},
+		{"//item/@id", sqltype.Varchar},
+	}
+	for i, d := range defs {
+		pool = append(pool, catalog.VirtualDef(
+			"P"+string(rune('A'+i)), "auction", pattern.MustParse(d.pat), d.ty, s))
+	}
+	return cat, pool
+}
+
+// TestPlanCostNeverExceedsDocScan: the optimizer always has the scan
+// fallback, so no plan can cost more.
+func TestPlanCostNeverExceedsDocScan(t *testing.T) {
+	cat, pool := xmarkCatalog(t, 200)
+	o := New(cat)
+	w := datagen.XMarkWorkload(30, 17)
+	for _, e := range w.Queries {
+		plan, err := o.Optimize(e.Query, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Cost > plan.DocScanCost+1e-9 {
+			t.Errorf("%s: cost %f > docscan %f", e.Query.ID, plan.Cost, plan.DocScanCost)
+		}
+	}
+}
+
+// TestMoreIndexesNeverIncreaseCost: enlarging the available index set can
+// only add plan options, so the estimated cost is monotone non-increasing.
+func TestMoreIndexesNeverIncreaseCost(t *testing.T) {
+	cat, pool := xmarkCatalog(t, 200)
+	o := New(cat)
+	w := datagen.XMarkWorkload(20, 23)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		e := w.Queries[rng.Intn(len(w.Queries))]
+		// A random subset and a random superset of it.
+		var sub, super []*catalog.IndexDef
+		for _, d := range pool {
+			r := rng.Intn(3)
+			if r == 0 {
+				sub = append(sub, d)
+			}
+			if r <= 1 {
+				super = append(super, d)
+			}
+		}
+		super = append(super, sub...)
+		planSub, err := o.Optimize(e.Query, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planSuper, err := o.Optimize(e.Query, super)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if planSuper.Cost > planSub.Cost+1e-9 {
+			t.Errorf("trial %d %s: superset cost %f > subset cost %f",
+				trial, e.Query.ID, planSuper.Cost, planSub.Cost)
+		}
+	}
+}
+
+// TestEvaluationBenefitNonNegative: Evaluate Indexes never reports a
+// negative benefit (the optimizer would simply not use the indexes).
+func TestEvaluationBenefitNonNegative(t *testing.T) {
+	cat, pool := xmarkCatalog(t, 150)
+	o := New(cat)
+	w := datagen.XMarkWorkload(15, 31)
+	rng := rand.New(rand.NewSource(7))
+	for _, e := range w.Queries {
+		var cfg []*catalog.IndexDef
+		for _, d := range pool {
+			if rng.Intn(2) == 0 {
+				cfg = append(cfg, d)
+			}
+		}
+		ev, err := o.EvaluateIndexes(e.Query, cfg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Benefit < 0 {
+			t.Errorf("%s: negative benefit %f", e.Query.ID, ev.Benefit)
+		}
+		if ev.Cost > ev.CostNoIndexes+1e-9 {
+			t.Errorf("%s: cost with indexes %f > without %f", e.Query.ID, ev.Cost, ev.CostNoIndexes)
+		}
+	}
+}
+
+// TestEnumerationSubsetOfLegs: every enumerated candidate corresponds to
+// a leg of the query (the optimizer invents nothing).
+func TestEnumerationSubsetOfLegs(t *testing.T) {
+	cat, _ := xmarkCatalog(t, 100)
+	o := New(cat)
+	w := datagen.XMarkWorkload(20, 41)
+	for _, e := range w.Queries {
+		legPatterns := map[string]bool{}
+		for _, l := range e.Query.Legs() {
+			legPatterns[l.Pattern.String()] = true
+		}
+		cands, err := o.EnumerateIndexes(e.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cands {
+			if !legPatterns[c.Pattern.String()] {
+				t.Errorf("%s: candidate %s is not a query leg", e.Query.ID, c.Pattern)
+			}
+		}
+	}
+}

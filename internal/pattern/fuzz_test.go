@@ -1,0 +1,54 @@
+package pattern
+
+import "testing"
+
+// FuzzParse checks the pattern parser never panics and that accepted
+// patterns render canonically (Parse(String(p)) == p).
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"/a/b/c", "//*", "/a/*/@id", "//text()", "/regions/*/item/*",
+		"/a//b//c", "@x", "/a/", "//", "/a[1]",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", p.String(), src, err)
+		}
+		if !p.Equal(q) {
+			t.Fatalf("canonical form unstable: %q -> %q", src, p.String())
+		}
+	})
+}
+
+// FuzzContainment checks Contains/Overlaps never panic and containment
+// stays consistent with matching on a derived witness word.
+func FuzzContainment(f *testing.F) {
+	f.Add("/a/*/c", "/a/b/c", "/a/b/c")
+	f.Add("//item", "/site/regions/namerica/item", "/site/regions/namerica/item")
+	f.Add("//@id", "/a/@id", "/a/@id")
+	f.Fuzz(func(t *testing.T, ps, qs, word string) {
+		p, err := Parse(ps)
+		if err != nil {
+			return
+		}
+		q, err := Parse(qs)
+		if err != nil {
+			return
+		}
+		c := Contains(p, q)
+		o := Overlaps(p, q)
+		if c && !o {
+			t.Fatalf("Contains(%q,%q) without overlap", ps, qs)
+		}
+		// If the word matches q and p contains q, it must match p.
+		if c && MatchesPath(q, word) && !MatchesPath(p, word) {
+			t.Fatalf("witness %q matches %q but not container %q", word, qs, ps)
+		}
+	})
+}

@@ -1,0 +1,336 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairwiseLUBPaperExample(t *testing.T) {
+	// Paper §2.2: the two region queries generalize to a wildcard region.
+	p := MustParse("/regions/namerica/item/quantity")
+	q := MustParse("/regions/africa/item/quantity")
+	lub, ok := PairwiseLUB(p, q)
+	if !ok {
+		t.Fatal("PairwiseLUB failed")
+	}
+	if lub.String() != "/regions/*/item/quantity" {
+		t.Fatalf("lub = %q", lub.String())
+	}
+	// Second step: against samerica/item/price, yielding /regions/*/item/*.
+	r := MustParse("/regions/samerica/item/price")
+	lub2, ok := PairwiseLUB(lub, r)
+	if !ok {
+		t.Fatal("second PairwiseLUB failed")
+	}
+	if lub2.String() != "/regions/*/item/*" {
+		t.Fatalf("lub2 = %q", lub2.String())
+	}
+}
+
+func TestPairwiseLUBRejects(t *testing.T) {
+	cases := []struct{ p, q string }{
+		{"/a/b", "/a/b/c"}, // different lengths
+		{"/a/b", "/a//b"},  // different axes
+		{"/a/@x", "/a/y"},  // different kinds at a position
+		{"/a/b", "/a/b"},   // identical: no new pattern
+		{"/a/*", "/a/b"},   // LUB equals p
+	}
+	for _, tc := range cases {
+		if lub, ok := PairwiseLUB(MustParse(tc.p), MustParse(tc.q)); ok {
+			t.Errorf("PairwiseLUB(%q, %q) = %q, want rejection", tc.p, tc.q, lub)
+		}
+	}
+}
+
+func TestPairwiseLUBContainsBoth(t *testing.T) {
+	// Property: a successful LUB contains both inputs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPattern(rng)
+		q := mutatePattern(rng, p)
+		lub, ok := PairwiseLUB(p, q)
+		if !ok {
+			return true
+		}
+		return Contains(lub, p) && Contains(lub, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWildcardAt(t *testing.T) {
+	p := MustParse("/a/b/@id")
+	if g, ok := WildcardAt(p, 1); !ok || g.String() != "/a/*/@id" {
+		t.Errorf("WildcardAt(1) = %v, %v", g, ok)
+	}
+	if g, ok := WildcardAt(p, 2); !ok || g.String() != "/a/b/@*" {
+		t.Errorf("WildcardAt(2) = %v, %v", g, ok)
+	}
+	if _, ok := WildcardAt(MustParse("/a/*/c"), 1); ok {
+		t.Error("WildcardAt on existing wildcard should fail")
+	}
+	if _, ok := WildcardAt(MustParse("/a/text()"), 1); ok {
+		t.Error("WildcardAt on text() should fail")
+	}
+	if _, ok := WildcardAt(p, 7); ok {
+		t.Error("WildcardAt out of range should fail")
+	}
+	// Result must contain the original.
+	g, _ := WildcardAt(p, 0)
+	if !Contains(g, p) {
+		t.Error("wildcarded pattern must contain the original")
+	}
+}
+
+func TestDescendantLeaf(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/site/regions/namerica/item", "//item"},
+		{"/a/b/@id", "//@id"},
+		{"/a/text()", "//text()"},
+		{"/a/*", "//*"},
+	}
+	for _, tc := range cases {
+		g, ok := DescendantLeaf(MustParse(tc.in))
+		if !ok || g.String() != tc.want {
+			t.Errorf("DescendantLeaf(%q) = %q,%v want %q", tc.in, g, ok, tc.want)
+		}
+		if !Contains(g, MustParse(tc.in)) {
+			t.Errorf("DescendantLeaf(%q) does not contain input", tc.in)
+		}
+	}
+	if _, ok := DescendantLeaf(MustParse("//item")); ok {
+		t.Error("DescendantLeaf of //item should report no new pattern")
+	}
+}
+
+func TestUniversalFor(t *testing.T) {
+	if UniversalFor(TestElem).String() != "//*" {
+		t.Error("UniversalFor(TestElem)")
+	}
+	if UniversalFor(TestAttr).String() != "//@*" {
+		t.Error("UniversalFor(TestAttr)")
+	}
+	if UniversalFor(TestText).String() != "//text()" {
+		t.Error("UniversalFor(TestText)")
+	}
+	// Universal patterns contain every same-kind pattern.
+	for _, s := range []string{"/a/b/c", "//x", "/a/*"} {
+		if !Contains(UniversalFor(TestElem), MustParse(s)) {
+			t.Errorf("//* should contain %q", s)
+		}
+	}
+}
+
+func TestRelaxAxisAt(t *testing.T) {
+	p := MustParse("/a/b/c")
+	g, ok := RelaxAxisAt(p, 1)
+	if !ok || g.String() != "/a//b/c" {
+		t.Errorf("RelaxAxisAt = %q, %v", g, ok)
+	}
+	if !Contains(g, p) {
+		t.Error("axis-relaxed pattern must contain the original")
+	}
+	if _, ok := RelaxAxisAt(MustParse("//a"), 0); ok {
+		t.Error("relaxing an already-descendant step should fail")
+	}
+}
+
+func TestSharedConcreteSteps(t *testing.T) {
+	p := MustParse("/regions/namerica/item/quantity")
+	q := MustParse("/regions/africa/item/quantity")
+	if got := SharedConcreteSteps(p, q); got != 3 {
+		t.Errorf("SharedConcreteSteps = %d, want 3", got)
+	}
+	if got := SharedConcreteSteps(p, MustParse("/a/b")); got != 0 {
+		t.Errorf("different lengths: %d, want 0", got)
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	pats := []Pattern{
+		MustParse("/a/b"),
+		MustParse("/a/c"),
+		MustParse("/a/b"),
+		MustParse("//x"),
+		MustParse("/a/c"),
+	}
+	got := Dedupe(pats)
+	if len(got) != 3 {
+		t.Fatalf("Dedupe len = %d, want 3", len(got))
+	}
+	if got[0].String() != "/a/b" || got[1].String() != "/a/c" || got[2].String() != "//x" {
+		t.Errorf("Dedupe order changed: %v", got)
+	}
+}
+
+// --- property-based checks on the containment machinery ---
+
+var propNames = []string{"a", "b", "c", "item", "quantity"}
+
+func randomPattern(rng *rand.Rand) Pattern {
+	n := 1 + rng.Intn(4)
+	steps := make([]Step, n)
+	for i := range steps {
+		st := Step{Axis: Child, Kind: TestElem, Name: propNames[rng.Intn(len(propNames))]}
+		if rng.Intn(3) == 0 {
+			st.Axis = Descendant
+		}
+		if rng.Intn(4) == 0 {
+			st.Name = "" // wildcard
+		}
+		steps[i] = st
+	}
+	// Occasionally make the leaf an attribute.
+	if rng.Intn(4) == 0 {
+		steps[n-1].Kind = TestAttr
+	}
+	p := Pattern{Steps: steps}
+	p.str = p.render()
+	return p
+}
+
+func mutatePattern(rng *rand.Rand, p Pattern) Pattern {
+	q := p.Clone()
+	i := rng.Intn(len(q.Steps))
+	if q.Steps[i].Kind != TestText {
+		q.Steps[i].Name = propNames[rng.Intn(len(propNames))]
+	}
+	q.str = q.render()
+	return q
+}
+
+// randomWordFor generates a concrete path that the pattern matches, by
+// expanding each step (wildcards to a fresh name, descendant gaps to 0-2
+// filler elements).
+func randomWordFor(rng *rand.Rand, p Pattern) string {
+	var parts []string
+	for _, st := range p.Steps {
+		if st.Axis == Descendant {
+			for k := rng.Intn(3); k > 0; k-- {
+				parts = append(parts, "filler")
+			}
+		}
+		name := st.Name
+		if name == "" {
+			name = "wild"
+		}
+		switch st.Kind {
+		case TestElem:
+			parts = append(parts, name)
+		case TestAttr:
+			parts = append(parts, "@"+name)
+		case TestText:
+			parts = append(parts, "text()")
+		}
+	}
+	return "/" + joinSlash(parts)
+}
+
+func joinSlash(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "/"
+		}
+		out += p
+	}
+	return out
+}
+
+// Property: containment is consistent with matching — if Contains(p, q)
+// then every generated word of q matches p.
+func TestContainmentSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPattern(rng)
+		q := randomPattern(rng)
+		if !Contains(p, q) {
+			return true
+		}
+		for i := 0; i < 5; i++ {
+			w := randomWordFor(rng, q)
+			if !MatchesPath(q, w) {
+				// Generator bug would invalidate the test; flag it.
+				return false
+			}
+			if !MatchesPath(p, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: if some generated word of q fails to match p, then p cannot
+// contain q (completeness direction, via witness).
+func TestContainmentCompletenessWitness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPattern(rng)
+		q := randomPattern(rng)
+		for i := 0; i < 5; i++ {
+			w := randomWordFor(rng, q)
+			if MatchesPath(q, w) && !MatchesPath(p, w) {
+				return !Contains(p, q)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: containment is transitive on random triples.
+func TestContainmentTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randomPattern(rng), randomPattern(rng), randomPattern(rng)
+		if Contains(a, b) && Contains(b, c) {
+			return Contains(a, c)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Overlaps is implied by containment (a contained non-empty
+// language shares all its words).
+func TestContainmentImpliesOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPattern(rng)
+		q := randomPattern(rng)
+		if Contains(p, q) {
+			return Overlaps(p, q)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	p := MustParse("//regions//item/*")
+	q := MustParse("/site/regions/namerica/item/quantity")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Contains(p, q)
+	}
+}
+
+func BenchmarkMatchPath(b *testing.B) {
+	m := Compile(MustParse("//regions//item/*"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MatchPath("/site/regions/namerica/item/quantity")
+	}
+}

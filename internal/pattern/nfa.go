@@ -1,0 +1,276 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Sym is one symbol of a concrete rooted path, viewed as a word: an element
+// label, an attribute label, or a text node.
+type Sym struct {
+	Kind TestKind
+	Name string
+}
+
+// ParseWord parses a concrete rooted path such as "/site/item/@id" or
+// "/site/item/name/text()" into its symbol sequence. Unlike patterns,
+// words may not contain wildcards or "//".
+func ParseWord(path string) ([]Sym, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("pattern: concrete path %q must start with /", path)
+	}
+	if strings.Contains(path, "//") {
+		return nil, fmt.Errorf("pattern: concrete path %q may not contain //", path)
+	}
+	parts := strings.Split(path[1:], "/")
+	word := make([]Sym, 0, len(parts))
+	for i, part := range parts {
+		switch {
+		case part == "text()":
+			if i != len(parts)-1 {
+				return nil, fmt.Errorf("pattern: text() must be last in %q", path)
+			}
+			word = append(word, Sym{Kind: TestText})
+		case strings.HasPrefix(part, "@"):
+			if i != len(parts)-1 {
+				return nil, fmt.Errorf("pattern: attribute must be last in %q", path)
+			}
+			if len(part) == 1 {
+				return nil, fmt.Errorf("pattern: empty attribute name in %q", path)
+			}
+			word = append(word, Sym{Kind: TestAttr, Name: part[1:]})
+		case part == "" || part == "*":
+			return nil, fmt.Errorf("pattern: bad step %q in concrete path %q", part, path)
+		default:
+			word = append(word, Sym{Kind: TestElem, Name: part})
+		}
+	}
+	return word, nil
+}
+
+// matches reports whether the step's node test accepts the symbol.
+func (s Step) matches(sym Sym) bool {
+	if s.Kind != sym.Kind {
+		return false
+	}
+	if s.Kind == TestText {
+		return true
+	}
+	return s.Name == "" || s.Name == sym.Name
+}
+
+// Matcher is a compiled pattern. State i means "the first i steps have been
+// matched"; state len(Steps) is accepting. A descendant-axis step i adds a
+// self-loop at state i over any element symbol (the intervening ancestors
+// of a descendant are always elements).
+type Matcher struct {
+	pat Pattern
+}
+
+// Compile returns a matcher for p. Compilation is cheap; the Matcher type
+// exists so hot paths can hoist pattern inspection out of loops and so the
+// matching semantics live in one place.
+func Compile(p Pattern) *Matcher {
+	return &Matcher{pat: p}
+}
+
+// next advances the subset simulation of the pattern automaton by one
+// symbol. states and out are bitmasks over automaton states (bit i = state
+// i); patterns are limited to 63 steps, far beyond anything real.
+func (m *Matcher) next(states uint64, sym Sym) uint64 {
+	var out uint64
+	steps := m.pat.Steps
+	for i := 0; i <= len(steps); i++ {
+		if states&(1<<uint(i)) == 0 {
+			continue
+		}
+		if i < len(steps) {
+			st := steps[i]
+			// Descendant self-loop: stay at state i consuming one
+			// intervening element.
+			if st.Axis == Descendant && sym.Kind == TestElem {
+				out |= 1 << uint(i)
+			}
+			if st.matches(sym) {
+				out |= 1 << uint(i+1)
+			}
+		}
+	}
+	return out
+}
+
+// MatchWord reports whether the pattern matches the concrete path word.
+func (m *Matcher) MatchWord(word []Sym) bool {
+	states := uint64(1) // {state 0}
+	for _, sym := range word {
+		states = m.next(states, sym)
+		if states == 0 {
+			return false
+		}
+	}
+	accept := uint64(1) << uint(len(m.pat.Steps))
+	return states&accept != 0
+}
+
+// MatchPath reports whether the pattern matches the concrete rooted path.
+// Malformed paths do not match.
+func (m *Matcher) MatchPath(path string) bool {
+	word, err := ParseWord(path)
+	if err != nil {
+		return false
+	}
+	return m.MatchWord(word)
+}
+
+// Pattern returns the pattern this matcher was compiled from.
+func (m *Matcher) Pattern() Pattern { return m.pat }
+
+// MatchesPath is a convenience wrapper: Compile(p).MatchPath(path).
+func MatchesPath(p Pattern, path string) bool {
+	return Compile(p).MatchPath(path)
+}
+
+// symbolicAlphabet returns a finite alphabet sufficient for deciding
+// containment and intersection of the given patterns: every concrete name
+// they mention, plus one fresh name per kind ("other" behaviour), plus the
+// text symbol. Wildcard transitions treat all unmentioned names uniformly,
+// so one representative fresh name is enough.
+func symbolicAlphabet(pats ...Pattern) []Sym {
+	names := map[string]bool{}
+	for _, p := range pats {
+		for _, n := range p.Names() {
+			names[n] = true
+		}
+	}
+	const fresh = "\x00other" // cannot collide with a parsed name
+	var alpha []Sym
+	for n := range names {
+		alpha = append(alpha, Sym{Kind: TestElem, Name: n})
+		alpha = append(alpha, Sym{Kind: TestAttr, Name: n})
+	}
+	alpha = append(alpha,
+		Sym{Kind: TestElem, Name: fresh},
+		Sym{Kind: TestAttr, Name: fresh},
+		Sym{Kind: TestText},
+	)
+	return alpha
+}
+
+// Contains reports whether p contains q: every concrete rooted path matched
+// by q is also matched by p. This is the index-matching test — an index on
+// pattern p can answer a query leg with pattern q iff Contains(p, q) — and
+// the edge relation of the advisor's generalization DAG.
+//
+// The check is exact for this pattern fragment: it is language inclusion of
+// two small word automata over the symbolic alphabet, decided by a
+// product/subset BFS.
+func Contains(p, q Pattern) bool {
+	if p.IsZero() || q.IsZero() {
+		return false
+	}
+	mp := Compile(p)
+	mq := Compile(q)
+	alpha := symbolicAlphabet(p, q)
+
+	type pair struct {
+		qstate int
+		pset   uint64
+	}
+	qAccept := len(q.Steps)
+	pAcceptBit := uint64(1) << uint(len(p.Steps))
+
+	start := pair{0, 1}
+	seen := map[pair]bool{start: true}
+	queue := []pair{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.qstate == qAccept && cur.pset&pAcceptBit == 0 {
+			return false // a word q accepts that p rejects
+		}
+		// Expand q's NFA one symbol at a time, tracking p's subset.
+		for _, sym := range alpha {
+			pnext := mp.next(cur.pset, sym)
+			// q transitions from single state cur.qstate.
+			qmask := mq.next(1<<uint(cur.qstate), sym)
+			for nq := 0; nq <= qAccept; nq++ {
+				if qmask&(1<<uint(nq)) == 0 {
+					continue
+				}
+				np := pair{nq, pnext}
+				if !seen[np] {
+					seen[np] = true
+					queue = append(queue, np)
+				}
+			}
+		}
+	}
+	return true
+}
+
+// containsCache memoizes Contains results. Pattern variety in a session
+// is bounded (workload legs, candidates, index definitions), while the
+// advisor's DAG construction and the optimizer's index matching repeat
+// the same pairs constantly.
+var containsCache sync.Map // "p\x00q" -> bool
+
+// ContainsCached is Contains with process-lifetime memoization.
+func ContainsCached(p, q Pattern) bool {
+	key := p.String() + "\x00" + q.String()
+	if v, ok := containsCache.Load(key); ok {
+		return v.(bool)
+	}
+	r := Contains(p, q)
+	containsCache.Store(key, r)
+	return r
+}
+
+// ContainsProperly reports p ⊃ q (contains but not equal as a language).
+func ContainsProperly(p, q Pattern) bool {
+	return Contains(p, q) && !Contains(q, p)
+}
+
+// Equivalent reports that p and q match exactly the same paths.
+func Equivalent(p, q Pattern) bool {
+	return Contains(p, q) && Contains(q, p)
+}
+
+// Overlaps reports whether some concrete rooted path is matched by both p
+// and q (language intersection non-emptiness). The advisor uses this to
+// decide whether a data modification under pattern q incurs maintenance
+// work on an index with pattern p.
+func Overlaps(p, q Pattern) bool {
+	if p.IsZero() || q.IsZero() {
+		return false
+	}
+	mp := Compile(p)
+	mq := Compile(q)
+	alpha := symbolicAlphabet(p, q)
+
+	type pair struct{ pset, qset uint64 }
+	pAcceptBit := uint64(1) << uint(len(p.Steps))
+	qAcceptBit := uint64(1) << uint(len(q.Steps))
+
+	start := pair{1, 1}
+	seen := map[pair]bool{start: true}
+	queue := []pair{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.pset&pAcceptBit != 0 && cur.qset&qAcceptBit != 0 {
+			return true
+		}
+		for _, sym := range alpha {
+			np := pair{mp.next(cur.pset, sym), mq.next(cur.qset, sym)}
+			if np.pset == 0 || np.qset == 0 {
+				continue
+			}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, np)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+package querylang
+
+import "testing"
+
+// FuzzParseXQuery checks the FLWOR parser never panics and that accepted
+// queries survive leg normalization.
+func FuzzParseXQuery(f *testing.F) {
+	seeds := []string{
+		`for $i in collection("c")/a/b where $i/x > 5 return $i/y`,
+		`for $i in collection("c")/a[b = 1 or c = "x"] for $j in $i/d let $k := $j/e where contains($k, "q") and not($i/f = 2) return ($i/g, count($j))`,
+		`for $i in collection("c") return <r>{ $i/a }</r>`,
+		`for $i in doc("c")//deep/path where $i//x >= "2008-01-01" return $i/@id`,
+		`for $i in collection("c")/a return $i extra`,
+		`for $$ in x return $i`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseXQuery(src)
+		if err != nil {
+			return
+		}
+		legs := q.Legs() // must not panic
+		for _, l := range legs {
+			if l.Pattern.IsZero() {
+				t.Fatalf("zero-pattern leg from %q", src)
+			}
+		}
+	})
+}
+
+// FuzzParseSQLXML checks the SQL/XML parser never panics.
+func FuzzParseSQLXML(f *testing.F) {
+	seeds := []string{
+		`SELECT 1 FROM t WHERE XMLEXISTS('$d/a/b[c > 1]' PASSING doc AS "d")`,
+		`select xmlquery('$d/a') from t where xmlexists('$d/b') and xmlexists('$d/c')`,
+		`SELECT COUNT(*) FROM t WHERE XMLEXISTS('/a[b = "x'`,
+		`SELECT FROM WHERE XMLEXISTS(')`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseSQLXML(src)
+		if err != nil {
+			return
+		}
+		q.Legs() // must not panic
+	})
+}

@@ -1,0 +1,130 @@
+package querylang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSQLXMLCaseInsensitiveKeywords(t *testing.T) {
+	q, err := ParseSQLXML(`select count(*) from Orders where xmlexists ('$d/FIXML/Order[@Acct = "123"]' passing doc as "d")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Collection != "Orders" {
+		t.Errorf("Collection = %q", q.Collection)
+	}
+	if !q.Aggregate {
+		t.Error("COUNT should set Aggregate")
+	}
+	joined := strings.Join(legStrings(q), "\n")
+	if !strings.Contains(joined, `/FIXML/Order/@Acct = "123"`) {
+		t.Errorf("legs:\n%s", joined)
+	}
+}
+
+func TestSQLXMLQueryOnlyBecomesBinding(t *testing.T) {
+	q, err := ParseSQLXML(`SELECT XMLQUERY('$d/site/item/name' PASSING doc AS "d") FROM items`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Binding == nil || q.Binding.String() != "/site/item/name" {
+		t.Errorf("Binding = %v", q.Binding)
+	}
+	if len(q.DocReturns) != 0 {
+		t.Errorf("DocReturns = %d", len(q.DocReturns))
+	}
+}
+
+func TestSQLXMLBarePathWithoutDollar(t *testing.T) {
+	q, err := ParseSQLXML(`SELECT 1 FROM items WHERE XMLEXISTS('/site/item[price > 3]' PASSING doc AS "d")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Binding.String() != "/site/item[price > 3]" {
+		t.Errorf("Binding = %q", q.Binding)
+	}
+}
+
+func TestSQLXMLFromInsideStringIgnored(t *testing.T) {
+	// The word FROM inside a quoted string must not be taken as the
+	// table clause.
+	q, err := ParseSQLXML(`SELECT 'select from nowhere' FROM items WHERE XMLEXISTS('$d/a/b' PASSING doc AS "d")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Collection != "items" {
+		t.Errorf("Collection = %q", q.Collection)
+	}
+}
+
+func TestSQLXMLDateLiteralInsidePredicate(t *testing.T) {
+	q, err := ParseSQLXML(`SELECT 1 FROM auction WHERE XMLEXISTS('$d/site/closed_auctions/closed_auction[date >= "2008-01-01"]' PASSING doc AS "d")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(legStrings(q), "\n")
+	if !strings.Contains(joined, "date >= 2008-01-01") {
+		t.Errorf("date leg missing:\n%s", joined)
+	}
+}
+
+func TestXQueryWhitespaceAndNewlines(t *testing.T) {
+	q, err := ParseXQuery("for $i in collection(\"items\")/site/item\n\twhere\n\t$i/price > 5\nreturn\n\t$i/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Binding.String() != "/site/item" {
+		t.Errorf("Binding = %q", q.Binding)
+	}
+}
+
+func TestXQueryDocFunction(t *testing.T) {
+	q, err := ParseXQuery(`for $i in doc("items")/site/item return $i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Collection != "items" {
+		t.Errorf("doc() collection = %q", q.Collection)
+	}
+}
+
+func TestXQueryBindingPredicateWithContains(t *testing.T) {
+	q, err := ParseXQuery(`for $i in collection("c")/site/item[contains(name, "bike") and price < 9] return $i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(legStrings(q), "\n")
+	for _, want := range []string{`contains`, "price < 9"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("legs missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestXQueryAttributeReturn(t *testing.T) {
+	q, err := ParseXQuery(`for $o in collection("order")/FIXML/Order where $o/OrdQty/@Qty > 100 return $o/@ID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(legStrings(q), "\n")
+	if !strings.Contains(joined, "/FIXML/Order/@ID (output)") {
+		t.Errorf("attribute return leg missing:\n%s", joined)
+	}
+	if !strings.Contains(joined, "/FIXML/Order/OrdQty/@Qty > 100") {
+		t.Errorf("attribute predicate leg missing:\n%s", joined)
+	}
+}
+
+func TestXQueryTextLegNormalizedToParent(t *testing.T) {
+	q, err := ParseXQuery(`for $i in collection("c")/a/b where $i/c/text() = "x" return $i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(legStrings(q), "\n")
+	if strings.Contains(joined, "text()") {
+		t.Errorf("text() leg not normalized:\n%s", joined)
+	}
+	if !strings.Contains(joined, `/a/b/c = "x"`) {
+		t.Errorf("normalized element leg missing:\n%s", joined)
+	}
+}

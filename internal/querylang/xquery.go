@@ -1,0 +1,712 @@
+package querylang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqltype"
+	"repro/internal/xpath"
+)
+
+// ParseXQuery parses the FLWOR subset:
+//
+//	for $i in collection("items")/site/regions/*/item[price > 100]
+//	for $b in $i/bidder
+//	let $q := $i/quantity
+//	where $q > 5 and contains($i/name, "bike")
+//	return ($i/name, $b/increase)
+//
+// Supported: any number of for/let clauses (later vars bind relative to
+// earlier ones), one optional where clause (and/or/not/contains/
+// comparisons over var-rooted paths), and a return clause of var-rooted
+// paths, a parenthesized sequence, count(...), data(...), or an element
+// constructor whose {...} holes contain var-rooted paths.
+//
+// Restrictions (documented in DESIGN.md): paths in where/return clauses
+// may not carry their own [...] predicates (put those in the binding
+// path), and order by / group by clauses are not supported. These
+// features would not produce additional index candidates anyway — DB2's
+// index matching ignores them too.
+func ParseXQuery(text string) (*Query, error) {
+	p := &xqParser{src: text}
+	if err := p.lex(); err != nil {
+		return nil, err
+	}
+	q, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	q.Text = text
+	q.Lang = LangXQuery
+	return q, nil
+}
+
+type xqTok struct {
+	kind xqKind
+	text string
+	pos  int // byte offset in src
+	end  int
+}
+
+type xqKind uint8
+
+const (
+	xqEOF xqKind = iota
+	xqIdent
+	xqVar    // $name
+	xqString // quoted
+	xqNumber
+	xqOp     // = != < <= > >=
+	xqAssign // :=
+	xqPunct  // any single punct: / ( ) [ ] , . * @ { } <
+)
+
+type xqParser struct {
+	src  string
+	toks []xqTok
+	pos  int
+
+	vars map[string]*xpath.PathExpr // var -> path relative to primary binding ("" steps = the binding itself)
+	q    *Query
+}
+
+func (p *xqParser) lex() error {
+	src := p.src
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '$':
+			j := i + 1
+			for j < len(src) && (isIdentChar(src[j])) {
+				j++
+			}
+			if j == i+1 {
+				return fmt.Errorf("querylang: bare $ at %d", i)
+			}
+			p.toks = append(p.toks, xqTok{xqVar, src[i+1 : j], i, j})
+			i = j
+		case c == '\'' || c == '"':
+			q := c
+			j := i + 1
+			for j < len(src) && src[j] != q {
+				j++
+			}
+			if j >= len(src) {
+				return fmt.Errorf("querylang: unterminated string at %d", i)
+			}
+			p.toks = append(p.toks, xqTok{xqString, src[i+1 : j], i, j + 1})
+			i = j + 1
+		case c == ':' && i+1 < len(src) && src[i+1] == '=':
+			p.toks = append(p.toks, xqTok{xqAssign, ":=", i, i + 2})
+			i += 2
+		case c == '!' && i+1 < len(src) && src[i+1] == '=':
+			p.toks = append(p.toks, xqTok{xqOp, "!=", i, i + 2})
+			i += 2
+		case c == '<' || c == '>':
+			// Could be an operator or an element constructor '<tag>'.
+			// '<' followed by a letter at clause level is a constructor;
+			// the parser decides, the lexer emits ops for <=, >= and
+			// bare < > otherwise.
+			op := string(c)
+			j := i + 1
+			if j < len(src) && src[j] == '=' {
+				op += "="
+				j++
+			}
+			p.toks = append(p.toks, xqTok{xqOp, op, i, j})
+			i = j
+		case c == '=':
+			p.toks = append(p.toks, xqTok{xqOp, "=", i, i + 1})
+			i++
+		case isDigit(c) || (c == '-' && i+1 < len(src) && isDigit(src[i+1])):
+			j := i + 1
+			for j < len(src) && (isDigit(src[j]) || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			p.toks = append(p.toks, xqTok{xqNumber, src[i:j], i, j})
+			i = j
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			p.toks = append(p.toks, xqTok{xqIdent, src[i:j], i, j})
+			i = j
+		default:
+			p.toks = append(p.toks, xqTok{xqPunct, string(c), i, i + 1})
+			i++
+		}
+	}
+	p.toks = append(p.toks, xqTok{xqEOF, "", len(src), len(src)})
+	return nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c|0x20 >= 'a' && c|0x20 <= 'z') || c >= 0x80 }
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || isDigit(c) || c == '-' || c == '.' || c == ':'
+}
+
+func (p *xqParser) peek() xqTok { return p.toks[p.pos] }
+
+// next consumes one token, saturating at EOF so error paths that consume
+// blindly can never index past the token slice.
+func (p *xqParser) next() xqTok {
+	t := p.toks[p.pos]
+	if t.kind != xqEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *xqParser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == xqIdent && t.text == kw
+}
+
+func (p *xqParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("querylang: %s (near offset %d in %q)", fmt.Sprintf(format, args...), p.peek().pos, p.src)
+}
+
+func (p *xqParser) parse() (*Query, error) {
+	p.q = &Query{}
+	p.vars = map[string]*xpath.PathExpr{}
+	sawFor := false
+	for {
+		switch {
+		case p.isKeyword("for"):
+			if err := p.parseFor(); err != nil {
+				return nil, err
+			}
+			sawFor = true
+		case p.isKeyword("let"):
+			if err := p.parseLet(); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("where"):
+			if !sawFor {
+				return nil, p.errf("where before any for clause")
+			}
+			if err := p.parseWhere(); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("return"):
+			if !sawFor {
+				return nil, p.errf("return before any for clause")
+			}
+			if err := p.parseReturn(); err != nil {
+				return nil, err
+			}
+			if p.peek().kind != xqEOF {
+				return nil, p.errf("trailing input after return clause")
+			}
+			if p.q.Binding == nil {
+				return nil, p.errf("no collection()/doc() binding")
+			}
+			return p.q, nil
+		default:
+			return nil, p.errf("expected for/let/where/return, found %q", p.peek().text)
+		}
+	}
+}
+
+// parseFor handles: for $v in collection("c")PATH  |  for $v in $w PATH
+func (p *xqParser) parseFor() error {
+	p.next() // for
+	v := p.next()
+	if v.kind != xqVar {
+		return p.errf("expected $var after for")
+	}
+	if !p.isKeyword("in") {
+		return p.errf("expected in after for $%s", v.text)
+	}
+	p.next()
+	return p.bindVar(v.text)
+}
+
+// parseLet handles: let $v := $w PATH
+func (p *xqParser) parseLet() error {
+	p.next() // let
+	v := p.next()
+	if v.kind != xqVar {
+		return p.errf("expected $var after let")
+	}
+	if p.peek().kind != xqAssign {
+		return p.errf("expected := in let clause")
+	}
+	p.next()
+	if p.peek().kind != xqVar {
+		return p.errf("let must bind from another variable's path")
+	}
+	return p.bindVar(v.text)
+}
+
+func (p *xqParser) bindVar(name string) error {
+	t := p.peek()
+	switch {
+	case t.kind == xqIdent && (t.text == "collection" || t.text == "doc"):
+		p.next()
+		if p.peek().text != "(" {
+			return p.errf("expected ( after %s", t.text)
+		}
+		p.next()
+		arg := p.next()
+		if arg.kind != xqString {
+			return p.errf("%s() needs a string argument", t.text)
+		}
+		if p.peek().text != ")" {
+			return p.errf("expected ) after %s(...", t.text)
+		}
+		p.next()
+		if p.q.Binding != nil {
+			return p.errf("only one collection()/doc() binding is supported")
+		}
+		p.q.Collection = arg.text
+		pathSrc, err := p.capturePath()
+		if err != nil {
+			return err
+		}
+		var bind *xpath.PathExpr
+		if pathSrc == "" {
+			bind = xpath.MustParse("/*")
+		} else {
+			bind, err = xpath.Parse(pathSrc)
+			if err != nil {
+				return fmt.Errorf("querylang: binding path: %w", err)
+			}
+		}
+		p.q.Binding = bind
+		p.vars[name] = &xpath.PathExpr{Relative: true, Dot: true}
+		return nil
+	case t.kind == xqVar:
+		p.next()
+		base, ok := p.vars[t.text]
+		if !ok {
+			return p.errf("unknown variable $%s", t.text)
+		}
+		pathSrc, err := p.capturePath()
+		if err != nil {
+			return err
+		}
+		if pathSrc == "" {
+			p.vars[name] = base
+			return nil
+		}
+		rel, err := parseRelPath(pathSrc)
+		if err != nil {
+			return fmt.Errorf("querylang: path for $%s: %w", name, err)
+		}
+		p.vars[name] = concatRel(base, rel)
+		return nil
+	default:
+		return p.errf("expected collection()/doc() or $var in binding")
+	}
+}
+
+// concatRel joins two relative paths (either may be the dot path).
+func concatRel(a, b *xpath.PathExpr) *xpath.PathExpr {
+	if a.Dot {
+		return b
+	}
+	if b.Dot {
+		return a
+	}
+	out := &xpath.PathExpr{Relative: true}
+	out.Steps = append(out.Steps, a.Steps...)
+	out.Steps = append(out.Steps, b.Steps...)
+	return out
+}
+
+// capturePath consumes tokens that form a path continuation (steps and
+// bracketed predicates) and returns the exact source substring. It stops
+// at a clause keyword (for/let/where/return/order) at bracket depth 0, or
+// at any token that cannot continue a path.
+func (p *xqParser) capturePath() (string, error) {
+	start := p.peek().pos
+	end := start
+	depth := 0
+	for {
+		t := p.peek()
+		if t.kind == xqEOF {
+			break
+		}
+		if depth == 0 && t.kind == xqIdent {
+			switch t.text {
+			case "for", "let", "where", "return", "order", "stable", "group":
+				goto done
+			}
+		}
+		switch {
+		case t.kind == xqPunct && t.text == "[":
+			depth++
+		case t.kind == xqPunct && t.text == "]":
+			if depth == 0 {
+				goto done
+			}
+			depth--
+		case depth == 0:
+			// Only path-ish tokens continue the capture.
+			ok := (t.kind == xqPunct && (t.text == "/" || t.text == "*" || t.text == "@" || t.text == "." || t.text == "(" || t.text == ")")) ||
+				t.kind == xqIdent
+			// A closing paren only continues text(); conservatively
+			// stop on ( ) unless preceded by ident "text".
+			if t.kind == xqPunct && (t.text == "(" || t.text == ")") {
+				ok = p.pos > 0 && p.toks[p.pos-1].kind == xqIdent && p.toks[p.pos-1].text == "text" ||
+					t.text == ")" && p.pos > 0 && p.toks[p.pos-1].text == "("
+			}
+			if !ok {
+				goto done
+			}
+		}
+		end = t.end
+		p.next()
+	}
+done:
+	if depth != 0 {
+		return "", p.errf("unbalanced [ in path")
+	}
+	return strings.TrimSpace(p.src[start:end]), nil
+}
+
+// parseWhere parses the boolean condition into an xpath.BoolExpr whose
+// paths are relative to the primary binding.
+func (p *xqParser) parseWhere() error {
+	p.next() // where
+	e, err := p.parseOr()
+	if err != nil {
+		return err
+	}
+	p.q.Where = e
+	return nil
+}
+
+func (p *xqParser) parseOr() (xpath.BoolExpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("or") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &xpath.OrExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *xqParser) parseAnd() (xpath.BoolExpr, error) {
+	l, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("and") {
+		p.next()
+		r, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		l = &xpath.AndExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *xqParser) parseCond() (xpath.BoolExpr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == xqPunct && t.text == "(":
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().text != ")" {
+			return nil, p.errf("expected )")
+		}
+		p.next()
+		return e, nil
+	case t.kind == xqIdent && t.text == "not":
+		p.next()
+		if p.peek().text != "(" {
+			return nil, p.errf("expected ( after not")
+		}
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().text != ")" {
+			return nil, p.errf("expected ) after not(")
+		}
+		p.next()
+		return &xpath.NotExpr{E: e}, nil
+	case t.kind == xqIdent && t.text == "contains":
+		p.next()
+		if p.peek().text != "(" {
+			return nil, p.errf("expected ( after contains")
+		}
+		p.next()
+		rel, err := p.parseVarPath()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().text != "," {
+			return nil, p.errf("expected , in contains()")
+		}
+		p.next()
+		lit := p.next()
+		if lit.kind != xqString {
+			return nil, p.errf("contains() needs a string literal")
+		}
+		if p.peek().text != ")" {
+			return nil, p.errf("expected ) after contains()")
+		}
+		p.next()
+		return &xpath.Comparison{
+			Path:  rel,
+			Op:    sqltype.ContainsSubstr,
+			Value: sqltype.Value{Type: sqltype.Varchar, S: lit.text},
+		}, nil
+	case t.kind == xqVar:
+		rel, err := p.parseVarPath()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != xqOp {
+			return &xpath.ExistsExpr{Path: rel}, nil
+		}
+		opTok := p.next()
+		op, err := xqOpFor(opTok.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		val, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return &xpath.Comparison{Path: rel, Op: op, Value: val}, nil
+	default:
+		return nil, p.errf("expected condition, found %q", t.text)
+	}
+}
+
+// parseVarPath parses $var followed by an optional predicate-free
+// relative path, returning a path relative to the primary binding.
+func (p *xqParser) parseVarPath() (*xpath.PathExpr, error) {
+	t := p.next()
+	if t.kind != xqVar {
+		return nil, p.errf("expected $var, found %q", t.text)
+	}
+	base, ok := p.vars[t.text]
+	if !ok {
+		return nil, p.errf("unknown variable $%s", t.text)
+	}
+	pathSrc, err := p.captureSimplePath()
+	if err != nil {
+		return nil, err
+	}
+	if pathSrc == "" {
+		return base, nil
+	}
+	rel, err := parseRelPath(pathSrc)
+	if err != nil {
+		return nil, fmt.Errorf("querylang: path after $%s: %w", t.text, err)
+	}
+	return concatRel(base, rel), nil
+}
+
+// parseRelPath parses a path continuation that followed a variable. A
+// single leading slash is a child step from the variable; a double slash
+// keeps its descendant meaning. The result is marked relative.
+func parseRelPath(src string) (*xpath.PathExpr, error) {
+	var e *xpath.PathExpr
+	var err error
+	if strings.HasPrefix(src, "//") {
+		e, err = xpath.Parse(src)
+	} else {
+		e, err = xpath.Parse(strings.TrimPrefix(src, "/"))
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.Relative = true
+	return e, nil
+}
+
+// captureSimplePath consumes a predicate-free path continuation
+// (/step//step/@attr/text()).
+func (p *xqParser) captureSimplePath() (string, error) {
+	start := p.peek().pos
+	end := start
+	expectStep := false
+	for {
+		t := p.peek()
+		if t.kind == xqPunct && t.text == "/" {
+			expectStep = true
+			end = t.end
+			p.next()
+			continue
+		}
+		if expectStep {
+			switch {
+			case t.kind == xqIdent, t.kind == xqPunct && (t.text == "*" || t.text == "@"):
+				end = t.end
+				p.next()
+				if t.kind == xqPunct && t.text == "@" {
+					expectStep = true // attribute name follows
+					continue
+				}
+				// text() support.
+				if t.kind == xqIdent && t.text == "text" && p.peek().text == "(" {
+					end = p.next().end
+					if p.peek().text != ")" {
+						return "", p.errf("expected ) after text(")
+					}
+					end = p.next().end
+				}
+				expectStep = false
+			default:
+				return "", p.errf("expected step after /")
+			}
+			continue
+		}
+		break
+	}
+	return strings.TrimSpace(p.src[start:end]), nil
+}
+
+func (p *xqParser) literal() (sqltype.Value, error) {
+	t := p.next()
+	switch t.kind {
+	case xqNumber:
+		v, ok := sqltype.Cast(sqltype.Double, t.text)
+		if !ok {
+			return sqltype.Value{}, p.errf("bad number %q", t.text)
+		}
+		return v, nil
+	case xqString:
+		if v, ok := sqltype.Cast(sqltype.Date, t.text); ok && len(t.text) >= 10 {
+			return v, nil
+		}
+		return sqltype.Value{Type: sqltype.Varchar, S: t.text}, nil
+	}
+	return sqltype.Value{}, p.errf("expected literal, found %q", t.text)
+}
+
+func xqOpFor(s string) (sqltype.CmpOp, error) {
+	switch s {
+	case "=":
+		return sqltype.Eq, nil
+	case "!=":
+		return sqltype.Ne, nil
+	case "<":
+		return sqltype.Lt, nil
+	case "<=":
+		return sqltype.Le, nil
+	case ">":
+		return sqltype.Gt, nil
+	case ">=":
+		return sqltype.Ge, nil
+	}
+	return sqltype.Eq, fmt.Errorf("unknown operator %q", s)
+}
+
+// parseReturn parses the return clause into extraction paths.
+func (p *xqParser) parseReturn() error {
+	p.next() // return
+	t := p.peek()
+	switch {
+	case t.kind == xqPunct && t.text == "(":
+		p.next()
+		for {
+			if err := p.parseReturnItem(); err != nil {
+				return err
+			}
+			if p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if p.peek().text != ")" {
+			return p.errf("expected ) in return sequence")
+		}
+		p.next()
+		return nil
+	case t.kind == xqOp && t.text == "<":
+		// Element constructor: consume everything, extracting {...}
+		// holes as return items.
+		return p.parseConstructorReturn()
+	default:
+		return p.parseReturnItem()
+	}
+}
+
+func (p *xqParser) parseReturnItem() error {
+	t := p.peek()
+	switch {
+	case t.kind == xqIdent && (t.text == "count" || t.text == "data" || t.text == "string" || t.text == "sum" || t.text == "avg"):
+		p.next()
+		if p.peek().text != "(" {
+			return p.errf("expected ( after %s", t.text)
+		}
+		p.next()
+		rel, err := p.parseVarPath()
+		if err != nil {
+			return err
+		}
+		if p.peek().text != ")" {
+			return p.errf("expected ) after %s(...", t.text)
+		}
+		p.next()
+		if t.text == "count" || t.text == "sum" || t.text == "avg" {
+			p.q.Aggregate = true
+		}
+		p.q.Returns = append(p.q.Returns, rel)
+		return nil
+	case t.kind == xqVar:
+		rel, err := p.parseVarPath()
+		if err != nil {
+			return err
+		}
+		p.q.Returns = append(p.q.Returns, rel)
+		return nil
+	case t.kind == xqString:
+		p.next() // literal text content: no extraction leg
+		return nil
+	default:
+		return p.errf("unsupported return expression starting at %q", t.text)
+	}
+}
+
+func (p *xqParser) parseConstructorReturn() error {
+	depth := 0
+	for {
+		t := p.peek()
+		if t.kind == xqEOF {
+			if depth != 0 {
+				return p.errf("unterminated element constructor")
+			}
+			return nil
+		}
+		if t.kind == xqPunct && t.text == "{" {
+			depth++
+			p.next()
+			if err := p.parseReturnItem(); err != nil {
+				return err
+			}
+			if p.peek().text != "}" {
+				return p.errf("expected } in constructor")
+			}
+			depth--
+			p.next()
+			continue
+		}
+		p.next()
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleText = `# test workload
+q|10|for $i in collection("items")/site/item where $i/price > 5 return $i/name
+q|2|SELECT 1 FROM items WHERE XMLEXISTS('$d/site/item[quantity = 3]' PASSING doc AS "d")
+i|1|items|<site><item><price>9</price></item></site>
+d|0.5|items|/site/item[quantity = 0]
+`
+
+func TestParseAndFormatRoundTrip(t *testing.T) {
+	w, err := Parse("test", sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 2 || len(w.Updates) != 2 {
+		t.Fatalf("parsed %d queries, %d updates", len(w.Queries), len(w.Updates))
+	}
+	if w.Queries[0].Weight != 10 || w.Queries[1].Weight != 2 {
+		t.Error("weights wrong")
+	}
+	if w.Queries[0].Query.ID != "Q1" || w.Queries[1].Query.ID != "Q2" {
+		t.Error("query IDs not assigned")
+	}
+	if w.Updates[0].Kind != UpdateInsert || w.Updates[1].Kind != UpdateDelete {
+		t.Error("update kinds wrong")
+	}
+	if w.TotalQueryWeight() != 12 {
+		t.Errorf("TotalQueryWeight = %f", w.TotalQueryWeight())
+	}
+	if w.TotalUpdateWeight() != 1.5 {
+		t.Errorf("TotalUpdateWeight = %f", w.TotalUpdateWeight())
+	}
+
+	w2, err := Parse("rt", w.Format())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, w.Format())
+	}
+	if len(w2.Queries) != len(w.Queries) || len(w2.Updates) != len(w.Updates) {
+		t.Error("round trip lost records")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"x|1|whatever",
+		"q|zero|for $i in collection(\"c\") return $i",
+		"q|-3|for $i in collection(\"c\") return $i",
+		"q|1|not a query at all !!!",
+		"i|1|no-xml-field",
+		"d|1|items|not a path",
+		"q1 for ...",
+		"q|1",
+	}
+	for _, line := range bad {
+		if _, err := Parse("bad", line); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestCollections(t *testing.T) {
+	w, _ := Parse("test", sampleText)
+	cols := w.Collections()
+	if len(cols) != 1 || cols[0] != "items" {
+		t.Errorf("Collections = %v", cols)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	w := &Workload{Name: "s"}
+	for i := 0; i < 40; i++ {
+		w.MustAddQuery(1, `for $i in collection("c")/a/b return $i`)
+	}
+	tr1, te1 := w.Split(0.7, 42)
+	tr2, te2 := w.Split(0.7, 42)
+	if len(tr1.Queries) != len(tr2.Queries) || len(te1.Queries) != len(te2.Queries) {
+		t.Error("Split not deterministic")
+	}
+	if len(tr1.Queries)+len(te1.Queries) != 40 {
+		t.Error("Split lost queries")
+	}
+	if len(tr1.Queries) < 20 || len(tr1.Queries) > 36 {
+		t.Errorf("train size %d implausible for frac 0.7", len(tr1.Queries))
+	}
+}
+
+func TestScaleUpdates(t *testing.T) {
+	w, _ := Parse("test", sampleText)
+	before := w.TotalUpdateWeight()
+	w.ScaleUpdates(4)
+	if w.TotalUpdateWeight() != before*4 {
+		t.Error("ScaleUpdates broken")
+	}
+}
+
+func TestFormatMentionsCounts(t *testing.T) {
+	w, _ := Parse("test", sampleText)
+	if !strings.Contains(w.Format(), "2 queries, 2 updates") {
+		t.Errorf("Format header: %s", w.Format())
+	}
+}
+
+func TestCompressMergesEquivalentQueries(t *testing.T) {
+	w := &Workload{Name: "c"}
+	w.MustAddQuery(3, `for $i in collection("c")/a/b where $i/x > 5 return $i/y`)
+	w.MustAddQuery(4, `for $j in collection("c")/a/b where $j/x > 5 return $j/y`) // same legs, different var
+	w.MustAddQuery(2, `for $i in collection("c")/a/b where $i/x > 6 return $i/y`) // different constant
+	w.AddInsert(1, "c", "<a/>")
+	cw := w.Compress()
+	if len(cw.Queries) != 2 {
+		t.Fatalf("compressed to %d queries, want 2", len(cw.Queries))
+	}
+	if cw.Queries[0].Weight != 7 {
+		t.Errorf("merged weight = %f, want 7", cw.Queries[0].Weight)
+	}
+	if cw.TotalQueryWeight() != w.TotalQueryWeight() {
+		t.Error("compression changed total weight")
+	}
+	if len(cw.Updates) != 1 {
+		t.Error("updates lost")
+	}
+}
+
+func TestCompressKeepsDistinctCollections(t *testing.T) {
+	w := &Workload{}
+	w.MustAddQuery(1, `for $i in collection("c1")/a/b return $i`)
+	w.MustAddQuery(1, `for $i in collection("c2")/a/b return $i`)
+	if got := len(w.Compress().Queries); got != 2 {
+		t.Errorf("cross-collection queries merged: %d", got)
+	}
+}

@@ -1,0 +1,296 @@
+package xindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqltype"
+	"repro/internal/xmldoc"
+)
+
+func dblEntry(f float64, doc int64, node int32) Entry {
+	return Entry{
+		Key:  sqltype.Value{Type: sqltype.Double, F: f},
+		Doc:  xmldoc.DocID(doc),
+		Node: xmldoc.NodeID(node),
+	}
+}
+
+func TestInsertAndRange(t *testing.T) {
+	tr := NewBTree(4) // tiny order to force splits
+	for i := 0; i < 100; i++ {
+		tr.Insert(dblEntry(float64(i%10), int64(i), 0))
+	}
+	if tr.Size() != 100 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Entry
+	v := sqltype.Value{Type: sqltype.Double, F: 3}
+	tr.Equal(v, func(e Entry) bool { got = append(got, e); return true })
+	if len(got) != 10 {
+		t.Errorf("Equal(3) returned %d entries, want 10", len(got))
+	}
+	for _, e := range got {
+		if e.Key.F != 3 {
+			t.Errorf("Equal returned key %v", e.Key)
+		}
+	}
+}
+
+func TestDuplicateInsertIgnored(t *testing.T) {
+	tr := NewBTree(4)
+	e := dblEntry(1, 1, 1)
+	tr.Insert(e)
+	tr.Insert(e)
+	if tr.Size() != 1 {
+		t.Errorf("Size after duplicate insert = %d, want 1", tr.Size())
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	tr := NewBTree(4)
+	for i := 0; i < 20; i++ {
+		tr.Insert(dblEntry(float64(i), int64(i), 0))
+	}
+	count := func(lo, hi Bound) int {
+		n := 0
+		tr.Range(lo, hi, func(Entry) bool { n++; return true })
+		return n
+	}
+	v := func(f float64) sqltype.Value { return sqltype.Value{Type: sqltype.Double, F: f} }
+	if got := count(Incl(v(5)), Incl(v(10))); got != 6 {
+		t.Errorf("[5,10] = %d, want 6", got)
+	}
+	if got := count(Excl(v(5)), Excl(v(10))); got != 4 {
+		t.Errorf("(5,10) = %d, want 4", got)
+	}
+	if got := count(Unbounded(), Excl(v(3))); got != 3 {
+		t.Errorf("(-inf,3) = %d, want 3", got)
+	}
+	if got := count(Incl(v(17)), Unbounded()); got != 3 {
+		t.Errorf("[17,inf) = %d, want 3", got)
+	}
+	if got := count(Unbounded(), Unbounded()); got != 20 {
+		t.Errorf("full = %d, want 20", got)
+	}
+	if got := count(Incl(v(100)), Unbounded()); got != 0 {
+		t.Errorf("beyond max = %d, want 0", got)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr := NewBTree(4)
+	for i := 0; i < 50; i++ {
+		tr.Insert(dblEntry(float64(i), int64(i), 0))
+	}
+	n := 0
+	tr.All(func(Entry) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := NewBTree(4)
+	for i := 0; i < 30; i++ {
+		tr.Insert(dblEntry(float64(i), int64(i), 0))
+	}
+	if !tr.Delete(dblEntry(7, 7, 0)) {
+		t.Fatal("Delete(7) = false")
+	}
+	if tr.Delete(dblEntry(7, 7, 0)) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Size() != 29 {
+		t.Errorf("Size = %d", tr.Size())
+	}
+	found := false
+	tr.All(func(e Entry) bool {
+		if e.Key.F == 7 {
+			found = true
+		}
+		return true
+	})
+	if found {
+		t.Error("deleted entry still visible")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarcharOrdering(t *testing.T) {
+	tr := NewBTree(8)
+	words := []string{"pear", "apple", "fig", "banana", "cherry"}
+	for i, w := range words {
+		tr.Insert(Entry{Key: sqltype.Value{Type: sqltype.Varchar, S: w}, Doc: xmldoc.DocID(i)})
+	}
+	var got []string
+	tr.All(func(e Entry) bool { got = append(got, e.Key.S); return true })
+	want := []string{"apple", "banana", "cherry", "fig", "pear"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	var entries []Entry
+	for i := 999; i >= 0; i-- { // reversed input; BulkLoad must sort
+		entries = append(entries, dblEntry(float64(i), int64(i), 0))
+	}
+	// Add duplicates; they must collapse.
+	entries = append(entries, dblEntry(5, 5, 0), dblEntry(6, 6, 0))
+	tr := BulkLoad(32, entries, 0.7)
+	if tr.Size() != 1000 {
+		t.Fatalf("Size = %d, want 1000", tr.Size())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Errorf("height = %d, expected multi-level", tr.Height())
+	}
+	prev := -1.0
+	tr.All(func(e Entry) bool {
+		if e.Key.F <= prev {
+			t.Fatalf("out of order: %f after %f", e.Key.F, prev)
+		}
+		prev = e.Key.F
+		return true
+	})
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := BulkLoad(32, nil, 0.7)
+	if tr.Size() != 0 {
+		t.Errorf("Size = %d", tr.Size())
+	}
+	n := 0
+	tr.All(func(Entry) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("visited %d entries in empty tree", n)
+	}
+}
+
+func TestNodesAccounting(t *testing.T) {
+	tr := BulkLoad(8, genEntries(500), 0.7)
+	leaves, inner := tr.Nodes()
+	if leaves <= 1 || inner < 1 {
+		t.Errorf("leaves=%d inner=%d for 500 entries order 8", leaves, inner)
+	}
+}
+
+func genEntries(n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = dblEntry(float64(i), int64(i), 0)
+	}
+	return out
+}
+
+// Property: after a random mix of inserts and deletes, the tree contains
+// exactly the surviving set, in order, and validates.
+func TestInsertDeleteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewBTree(4 + rng.Intn(12))
+		alive := map[int64]bool{}
+		for op := 0; op < 300; op++ {
+			k := int64(rng.Intn(60))
+			if rng.Intn(3) > 0 {
+				tr.Insert(dblEntry(float64(k), k, 0))
+				alive[k] = true
+			} else {
+				deleted := tr.Delete(dblEntry(float64(k), k, 0))
+				if deleted != alive[k] {
+					return false
+				}
+				delete(alive, k)
+			}
+		}
+		if tr.Size() != len(alive) {
+			return false
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		seen := map[int64]bool{}
+		ok := true
+		prev := -1.0
+		tr.All(func(e Entry) bool {
+			if e.Key.F < prev {
+				ok = false
+			}
+			prev = e.Key.F
+			seen[int64(e.Doc)] = true
+			return true
+		})
+		if !ok || len(seen) != len(alive) {
+			return false
+		}
+		for k := range alive {
+			if !seen[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BulkLoad and incremental Insert agree on contents.
+func TestBulkVsIncrementalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(400)
+		var entries []Entry
+		for i := 0; i < n; i++ {
+			entries = append(entries, dblEntry(float64(rng.Intn(50)), int64(i), 0))
+		}
+		bulk := BulkLoad(16, entries, 0.7)
+		inc := NewBTree(16)
+		for _, e := range entries {
+			inc.Insert(e)
+		}
+		if bulk.Size() != inc.Size() {
+			return false
+		}
+		var a, b []Entry
+		bulk.All(func(e Entry) bool { a = append(a, e); return true })
+		inc.All(func(e Entry) bool { b = append(b, e); return true })
+		for i := range a {
+			if compareEntries(a[i], b[i]) != 0 {
+				return false
+			}
+		}
+		return bulk.Validate() == nil && inc.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	tr := NewBTree(DefaultOrder)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(dblEntry(float64(i), int64(i), 0))
+	}
+}
+
+func BenchmarkBTreeEqual(b *testing.B) {
+	tr := BulkLoad(DefaultOrder, genEntries(100000), 0.7)
+	v := sqltype.Value{Type: sqltype.Double, F: 50000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Equal(v, func(Entry) bool { return true })
+	}
+}

@@ -1,0 +1,168 @@
+package xindex
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+	"repro/internal/store"
+	"repro/internal/xmldoc"
+)
+
+// Index is a physical XML value index over one collection: a B+ tree of
+// (typed value, doc, node) entries for every node reachable by the index
+// pattern whose value casts to the index type.
+type Index struct {
+	Name    string
+	Pattern pattern.Pattern
+	Type    sqltype.Type
+
+	matcher *pattern.Matcher
+	tree    *BTree
+	order   int
+}
+
+// New creates an empty physical index.
+func New(name string, p pattern.Pattern, t sqltype.Type) *Index {
+	return &Index{
+		Name:    name,
+		Pattern: p,
+		Type:    t,
+		matcher: pattern.Compile(p),
+		tree:    NewBTree(DefaultOrder),
+		order:   DefaultOrder,
+	}
+}
+
+// Build constructs the index over the whole collection with a bulk load,
+// replacing any previous contents.
+func Build(name string, p pattern.Pattern, t sqltype.Type, c *store.Collection) *Index {
+	ix := New(name, p, t)
+	var entries []Entry
+	c.Each(func(d *xmldoc.Document) bool {
+		entries = append(entries, ix.docEntries(d)...)
+		return true
+	})
+	ix.tree = BulkLoad(ix.order, entries, 0.7)
+	return ix
+}
+
+// docEntries extracts the index entries a document contributes.
+func (ix *Index) docEntries(d *xmldoc.Document) []Entry {
+	var out []Entry
+	d.Walk(func(n *xmldoc.Node) bool {
+		var raw string
+		switch n.Kind {
+		case xmldoc.KindElement:
+			raw = n.Text()
+		case xmldoc.KindAttribute, xmldoc.KindText:
+			raw = n.Value
+		}
+		if ix.matcher.MatchPath(n.RootPath()) {
+			if v, ok := sqltype.Cast(ix.Type, raw); ok {
+				out = append(out, Entry{Key: v, Doc: d.ID, Node: n.ID})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// InsertDoc adds a document's entries (index maintenance on insert). It
+// returns the number of entries added — the work an update statement pays.
+func (ix *Index) InsertDoc(d *xmldoc.Document) int {
+	es := ix.docEntries(d)
+	for _, e := range es {
+		ix.tree.Insert(e)
+	}
+	return len(es)
+}
+
+// DeleteDoc removes a document's entries (index maintenance on delete).
+func (ix *Index) DeleteDoc(d *xmldoc.Document) int {
+	es := ix.docEntries(d)
+	removed := 0
+	for _, e := range es {
+		if ix.tree.Delete(e) {
+			removed++
+		}
+	}
+	return removed
+}
+
+// Entries returns the number of entries in the index.
+func (ix *Index) Entries() int { return ix.tree.Size() }
+
+// Pages returns the index size in pages (one tree node per page, as the
+// order is tuned to the page size).
+func (ix *Index) Pages() int64 {
+	leaves, inner := ix.tree.Nodes()
+	return int64(leaves + inner)
+}
+
+// Height returns the B+ tree height.
+func (ix *Index) Height() int { return ix.tree.Height() }
+
+// Tree exposes the underlying B+ tree for validation in tests.
+func (ix *Index) Tree() *BTree { return ix.tree }
+
+// ScanResult is the outcome of an index scan.
+type ScanResult struct {
+	Entries     []Entry
+	LeavesRead  int
+	TreeTraveld int // root-to-leaf descent length
+}
+
+// Scan evaluates (op, value) against the index. Rangeable operators use a
+// B+ tree descent plus a bounded leaf walk; Ne and ContainsSubstr fall
+// back to a full leaf scan with residual filtering.
+func (ix *Index) Scan(op sqltype.CmpOp, v sqltype.Value) (ScanResult, error) {
+	if op != sqltype.Exists && op != sqltype.ContainsSubstr && v.Type != ix.Type {
+		return ScanResult{}, fmt.Errorf("xindex: %s scan with %v constant on %v index", ix.Name, v.Type, ix.Type)
+	}
+	res := ScanResult{TreeTraveld: ix.tree.Height()}
+	collect := func(e Entry) bool {
+		res.Entries = append(res.Entries, e)
+		return true
+	}
+	switch op {
+	case sqltype.Exists:
+		res.LeavesRead = ix.tree.All(collect)
+	case sqltype.Eq:
+		res.LeavesRead = ix.tree.Equal(v, collect)
+	case sqltype.Lt:
+		res.LeavesRead = ix.tree.Range(Unbounded(), Excl(v), collect)
+	case sqltype.Le:
+		res.LeavesRead = ix.tree.Range(Unbounded(), Incl(v), collect)
+	case sqltype.Gt:
+		res.LeavesRead = ix.tree.Range(Excl(v), Unbounded(), collect)
+	case sqltype.Ge:
+		res.LeavesRead = ix.tree.Range(Incl(v), Unbounded(), collect)
+	case sqltype.Ne:
+		res.LeavesRead = ix.tree.All(func(e Entry) bool {
+			if sqltype.Compare(e.Key, v) != 0 {
+				res.Entries = append(res.Entries, e)
+			}
+			return true
+		})
+	case sqltype.ContainsSubstr:
+		res.LeavesRead = ix.tree.All(func(e Entry) bool {
+			if ix.Type == sqltype.Varchar && strings.Contains(e.Key.S, v.S) {
+				res.Entries = append(res.Entries, e)
+			}
+			return true
+		})
+	default:
+		return ScanResult{}, fmt.Errorf("xindex: unsupported operator %v", op)
+	}
+	return res, nil
+}
+
+// DDL renders the DB2-style CREATE INDEX statement for this index over
+// the named collection.
+func DDL(name, collection string, p pattern.Pattern, t sqltype.Type) string {
+	return fmt.Sprintf(
+		"CREATE INDEX %s ON %s(DOC) GENERATE KEY USING XMLPATTERN '%s' AS SQL %s",
+		name, strings.ToUpper(collection), p.String(), t.String())
+}

@@ -1,0 +1,38 @@
+package xmldoc
+
+import "testing"
+
+// FuzzParse checks that the parser never panics, and that any input it
+// accepts survives a serialize/reparse round trip unchanged.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		sampleDoc,
+		`<a/>`,
+		`<a b="c">text</a>`,
+		`<a><![CDATA[x<y]]></a>`,
+		`<a>&amp;&#65;</a>`,
+		`<?xml version="1.0"?><!DOCTYPE a [<!ELEMENT a ANY>]><a><!-- c --></a>`,
+		`<a><b/><b></b></a>`,
+		`<broken`,
+		`<a>&nosuch;</a>`,
+		`<a x='1' x="2"/>`,
+		"<\x00a/>",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out := doc.Serialize()
+		doc2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("reparse of serialized output failed: %v\ninput: %q\nserialized: %q", err, data, out)
+		}
+		if !equalTree(doc.Root, doc2.Root) {
+			t.Fatalf("round trip changed tree\ninput: %q", data)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package xpath
+
+import (
+	"sort"
+
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+	"repro/internal/xmldoc"
+)
+
+// Evaluator evaluates path expressions over documents and counts visited
+// nodes, which the executor converts into CPU cost. The zero value is
+// ready to use.
+type Evaluator struct {
+	// Visited counts node-test evaluations performed; it is the
+	// navigation work a document scan pays.
+	Visited int64
+}
+
+// Eval evaluates an absolute path expression over the document and
+// returns the selected nodes in document order, without duplicates.
+// Relative expressions are evaluated from the document root's parent
+// (the virtual document node), which gives them absolute meaning too.
+func (ev *Evaluator) Eval(d *xmldoc.Document, e *PathExpr) []*xmldoc.Node {
+	if d.Root == nil {
+		return nil
+	}
+	virtual := &xmldoc.Node{Kind: xmldoc.KindElement, Name: "#document", Children: []*xmldoc.Node{d.Root}}
+	if e.Dot {
+		return []*xmldoc.Node{d.Root}
+	}
+	return ev.evalSteps([]*xmldoc.Node{virtual}, e.Steps)
+}
+
+// EvalFrom evaluates a relative path expression from a context node.
+func (ev *Evaluator) EvalFrom(ctx *xmldoc.Node, e *PathExpr) []*xmldoc.Node {
+	if e.Dot {
+		return []*xmldoc.Node{ctx}
+	}
+	return ev.evalSteps([]*xmldoc.Node{ctx}, e.Steps)
+}
+
+func (ev *Evaluator) evalSteps(ctxs []*xmldoc.Node, steps []Step) []*xmldoc.Node {
+	cur := ctxs
+	for si := range steps {
+		st := &steps[si]
+		var next []*xmldoc.Node
+		seen := map[*xmldoc.Node]struct{}{}
+		emit := func(n *xmldoc.Node) {
+			ev.Visited++
+			if !matchTest(st, n) {
+				return
+			}
+			for _, pr := range st.Preds {
+				if !ev.evalPred(n, pr) {
+					return
+				}
+			}
+			if _, dup := seen[n]; dup {
+				return
+			}
+			seen[n] = struct{}{}
+			next = append(next, n)
+		}
+		for _, c := range cur {
+			if st.Axis == pattern.Child {
+				switch st.Kind {
+				case pattern.TestAttr:
+					for _, a := range c.Attrs {
+						emit(a)
+					}
+				default:
+					for _, ch := range c.Children {
+						emit(ch)
+					}
+				}
+				continue
+			}
+			// Descendant axis: everything strictly below c, including
+			// c's own attributes (matching the pattern semantics where
+			// a descendant gap may be empty).
+			walkBelow(c, emit)
+		}
+		// Document order (IDs are pre-order within one document; the
+		// virtual document node has ID 0 like the root but never
+		// appears in results).
+		sort.Slice(next, func(i, j int) bool { return next[i].ID < next[j].ID })
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+func walkBelow(c *xmldoc.Node, emit func(*xmldoc.Node)) {
+	for _, a := range c.Attrs {
+		emit(a)
+	}
+	for _, ch := range c.Children {
+		emit(ch)
+		if ch.Kind == xmldoc.KindElement {
+			walkBelow(ch, emit)
+		}
+	}
+}
+
+func matchTest(st *Step, n *xmldoc.Node) bool {
+	switch st.Kind {
+	case pattern.TestElem:
+		return n.Kind == xmldoc.KindElement && (st.Name == "" || st.Name == n.Name)
+	case pattern.TestAttr:
+		return n.Kind == xmldoc.KindAttribute && (st.Name == "" || st.Name == n.Name)
+	case pattern.TestText:
+		return n.Kind == xmldoc.KindText
+	}
+	return false
+}
+
+// NodeValue returns the comparable raw value of a node: text content for
+// elements, value for attributes and text nodes.
+func NodeValue(n *xmldoc.Node) string {
+	switch n.Kind {
+	case xmldoc.KindElement:
+		return n.Text()
+	default:
+		return n.Value
+	}
+}
+
+func (ev *Evaluator) evalPred(ctx *xmldoc.Node, e BoolExpr) bool {
+	switch x := e.(type) {
+	case *AndExpr:
+		return ev.evalPred(ctx, x.L) && ev.evalPred(ctx, x.R)
+	case *OrExpr:
+		return ev.evalPred(ctx, x.L) || ev.evalPred(ctx, x.R)
+	case *NotExpr:
+		return !ev.evalPred(ctx, x.E)
+	case *ExistsExpr:
+		return len(ev.EvalFrom(ctx, x.Path)) > 0
+	case *Comparison:
+		for _, n := range ev.EvalFrom(ctx, x.Path) {
+			if sqltype.Eval(NodeValue(n), x.Op, x.Value) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Eval is a convenience one-shot evaluation without visit accounting.
+func Eval(d *xmldoc.Document, e *PathExpr) []*xmldoc.Node {
+	var ev Evaluator
+	return ev.Eval(d, e)
+}
+
+// EvalString parses and evaluates src against the document.
+func EvalString(d *xmldoc.Document, src string) ([]*xmldoc.Node, error) {
+	e, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(d, e), nil
+}

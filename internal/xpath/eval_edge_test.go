@@ -1,0 +1,148 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/xmldoc"
+)
+
+func TestEvalAttributePredicates(t *testing.T) {
+	d := xmldoc.MustParse(`<site>
+	  <item id="i1" featured="yes"><price>10</price></item>
+	  <item id="i2"><price>20</price></item>
+	  <item id="i3" featured="no"><price>30</price></item>
+	</site>`)
+	cases := []struct {
+		path string
+		n    int
+	}{
+		{`//item[@id = "i2"]`, 1},
+		{`//item[@featured]`, 2},
+		{`//item[@featured = "yes"]`, 1},
+		{`//item[@nosuch]`, 0},
+		{`//item[@id != "i1"]`, 2},
+		{`//item[@featured and price > 5]`, 2},
+	}
+	for _, tc := range cases {
+		got, err := EvalString(d, tc.path)
+		if err != nil {
+			t.Errorf("%s: %v", tc.path, err)
+			continue
+		}
+		if len(got) != tc.n {
+			t.Errorf("%s = %d nodes, want %d", tc.path, len(got), tc.n)
+		}
+	}
+}
+
+func TestEvalWildcardSteps(t *testing.T) {
+	d := xmldoc.MustParse(`<a><b><x>1</x></b><c><x>2</x></c><d><y>3</y></d></a>`)
+	got, _ := EvalString(d, "/a/*/x")
+	if len(got) != 2 {
+		t.Errorf("/a/*/x = %d, want 2", len(got))
+	}
+	got, _ = EvalString(d, "/a/*[x]")
+	if len(got) != 2 {
+		t.Errorf("/a/*[x] = %d, want 2", len(got))
+	}
+	got, _ = EvalString(d, "/*/*")
+	if len(got) != 3 {
+		t.Errorf("/*/* = %d, want 3", len(got))
+	}
+}
+
+func TestEvalEmptyAndDegenerateDocs(t *testing.T) {
+	d := &xmldoc.Document{}
+	if got := Eval(d, MustParse("//a")); got != nil {
+		t.Errorf("eval on empty doc = %v", got)
+	}
+	single := xmldoc.MustParse(`<only/>`)
+	if got := Eval(single, MustParse("/only")); len(got) != 1 {
+		t.Error("root-only doc broken")
+	}
+	if got := Eval(single, MustParse("//only")); len(got) != 1 {
+		t.Error("descendant to root broken")
+	}
+}
+
+func TestEvalDeepDocument(t *testing.T) {
+	depth := 300
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&sb, "<n%d>", i)
+	}
+	sb.WriteString("<leaf>v</leaf>")
+	for i := depth - 1; i >= 0; i-- {
+		fmt.Fprintf(&sb, "</n%d>", i)
+	}
+	d, err := xmldoc.ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := EvalString(d, "//leaf")
+	if len(got) != 1 {
+		t.Errorf("deep //leaf = %d", len(got))
+	}
+	got, _ = EvalString(d, "//leaf[. = \"v\"]")
+	if len(got) != 1 {
+		t.Errorf("deep predicate = %d", len(got))
+	}
+}
+
+func TestEvalRecursiveElementNames(t *testing.T) {
+	// parts nested inside parts: descendant queries must find all, and
+	// dedup must hold when multiple context ancestors reach the same node.
+	d := xmldoc.MustParse(`<part name="a"><part name="b"><part name="c"/></part></part>`)
+	got, _ := EvalString(d, "//part")
+	if len(got) != 3 {
+		t.Errorf("//part = %d, want 3", len(got))
+	}
+	got, _ = EvalString(d, "//part//part")
+	if len(got) != 2 {
+		t.Errorf("//part//part = %d, want 2 (b and c)", len(got))
+	}
+	got, _ = EvalString(d, "/part/part/part")
+	if len(got) != 1 {
+		t.Errorf("/part/part/part = %d, want 1", len(got))
+	}
+}
+
+func TestEvalOrPrecedence(t *testing.T) {
+	d := xmldoc.MustParse(`<r><i><a>1</a></i><i><b>1</b><c>1</c></i><i><c>1</c></i></r>`)
+	// a or (b and c): items 1 and 2.
+	got, _ := EvalString(d, "//i[a or b and c]")
+	if len(got) != 2 {
+		t.Errorf("a or b and c = %d, want 2", len(got))
+	}
+	// (a or b) and c: item 2 only.
+	got, _ = EvalString(d, "//i[(a or b) and c]")
+	if len(got) != 1 {
+		t.Errorf("(a or b) and c = %d, want 1", len(got))
+	}
+}
+
+func TestEvalTextNodes(t *testing.T) {
+	d := xmldoc.MustParse(`<r><a>one</a><a><b>two</b></a></r>`)
+	got, _ := EvalString(d, "//a/text()")
+	if len(got) != 1 {
+		t.Errorf("//a/text() = %d, want 1 (only direct text)", len(got))
+	}
+	got, _ = EvalString(d, "//text()")
+	if len(got) != 2 {
+		t.Errorf("//text() = %d, want 2", len(got))
+	}
+}
+
+func TestEvalNumericStringCoercion(t *testing.T) {
+	d := xmldoc.MustParse(`<r><v>007</v><v>7</v><v>seven</v></r>`)
+	got, _ := EvalString(d, "//v[. = 7]")
+	if len(got) != 2 {
+		t.Errorf("numeric comparison should coerce: %d, want 2", len(got))
+	}
+	got, _ = EvalString(d, `//v[. = "7"]`)
+	if len(got) != 1 {
+		t.Errorf("string comparison is exact: %d, want 1", len(got))
+	}
+}

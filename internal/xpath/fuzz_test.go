@@ -1,0 +1,60 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/xmldoc"
+)
+
+// FuzzParse checks the path parser never panics and that accepted inputs
+// have a stable rendering (String() reparses to the same String()).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"/site/regions/*/item[quantity > 5]/name",
+		"//person[profile/@income >= 50000]",
+		`//item[contains(name, "bike") and not(sold = 1)]`,
+		"//a[b = 1 or c = 2][d]",
+		".",
+		"a/b/@c",
+		"//item[@id = \"i1\"]",
+		"/a[b = \"x\" and (c < 2 or d != 'y')]",
+		"/a[text() = '1']",
+		"//[]",
+		"/a[",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s1 := e.String()
+		e2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("rendering %q of %q does not reparse: %v", s1, src, err)
+		}
+		if s2 := e2.String(); s1 != s2 {
+			t.Fatalf("unstable rendering: %q -> %q -> %q", src, s1, s2)
+		}
+	})
+}
+
+// FuzzEval checks evaluation never panics on arbitrary (path, doc) pairs.
+func FuzzEval(f *testing.F) {
+	f.Add("/site//item[price > 5]/@id", `<site><regions><a><item id="1" price="9"/></a></regions></site>`)
+	f.Add("//x[y or z]", `<x><y/></x>`)
+	f.Add("//*[. = '']", `<a><b></b></a>`)
+	f.Fuzz(func(t *testing.T, pathSrc, docSrc string) {
+		e, err := Parse(pathSrc)
+		if err != nil {
+			return
+		}
+		d, err := xmldoc.ParseString(docSrc)
+		if err != nil {
+			return
+		}
+		Eval(d, e) // must not panic
+	})
+}

@@ -1,0 +1,441 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+)
+
+// Parse parses a path expression such as
+//
+//	/site/regions/*/item[quantity > 5 and contains(name, "bike")]/name
+//	//person[profile/@income >= 50000]
+//	open_auctions/open_auction[initial > 100]   (relative)
+//	.                                           (context node)
+//
+// String literals that parse as dates are typed DATE so date indexes can
+// match them; numbers are DOUBLE; other strings are VARCHAR.
+func Parse(src string) (*PathExpr, error) {
+	lx, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: lx, src: src}
+	expr, err := p.parsePath(true)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, p.errf("trailing input at %q", p.peek().text)
+	}
+	return expr, nil
+}
+
+// MustParse parses src and panics on error, for tests and generators.
+func MustParse(src string) *PathExpr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tSlash
+	tDSlash
+	tIdent  // name, possibly with : - . inside
+	tAt     // @
+	tStar   // *
+	tLBrack // [
+	tRBrack // ]
+	tLParen // (
+	tRParen // )
+	tComma
+	tDot
+	tNumber
+	tString
+	tOp // = != < <= > >=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/':
+			if i+1 < len(src) && src[i+1] == '/' {
+				toks = append(toks, token{tDSlash, "//", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tSlash, "/", i})
+				i++
+			}
+		case c == '@':
+			toks = append(toks, token{tAt, "@", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tStar, "*", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tLBrack, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tRBrack, "]", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tComma, ",", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("xpath: stray '!' at %d in %q", i, src)
+			}
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tOp, op, i})
+			i++
+		case c == '\'' || c == '"':
+			q := c
+			j := i + 1
+			for j < len(src) && src[j] != q {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("xpath: unterminated string at %d in %q", i, src)
+			}
+			toks = append(toks, token{tString, src[i+1 : j], i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9'):
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tNumber, src[i:j], i})
+			i = j
+		case c == '.':
+			toks = append(toks, token{tDot, ".", i})
+			i++
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("xpath: unexpected character %q at %d in %q", c, i, src)
+		}
+	}
+	toks = append(toks, token{tEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c == '-' || c == '.' || c == ':' || (c >= '0' && c <= '9')
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+// next consumes one token, saturating at EOF so error paths that consume
+// blindly can never index past the token slice.
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+func (p *parser) atEnd() bool { return p.peek().kind == tEOF }
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("xpath: %s (in %q)", fmt.Sprintf(format, args...), p.src)
+}
+
+// parsePath parses a path; top indicates a full path (which may be
+// absolute). Inside predicates paths are relative.
+func (p *parser) parsePath(top bool) (*PathExpr, error) {
+	expr := &PathExpr{Relative: true}
+	// "." alone.
+	if p.peek().kind == tDot {
+		p.next()
+		expr.Dot = true
+		if p.peek().kind == tSlash || p.peek().kind == tDSlash {
+			// "./a/b": continue with relative steps.
+			expr.Dot = false
+		} else {
+			return expr, nil
+		}
+	}
+	first := true
+	for {
+		axis := pattern.Child
+		switch p.peek().kind {
+		case tSlash:
+			p.next()
+			if first {
+				expr.Relative = false
+			}
+		case tDSlash:
+			p.next()
+			axis = pattern.Descendant
+			if first {
+				expr.Relative = false
+			}
+		default:
+			if !first {
+				return expr, nil
+			}
+			// Relative path starting directly with a name test.
+		}
+		st, err := p.parseStep(axis)
+		if err != nil {
+			if first && !expr.Relative {
+				return nil, err
+			}
+			return nil, err
+		}
+		expr.Steps = append(expr.Steps, st)
+		first = false
+		if p.peek().kind != tSlash && p.peek().kind != tDSlash {
+			return expr, nil
+		}
+	}
+}
+
+func (p *parser) parseStep(axis pattern.Axis) (Step, error) {
+	st := Step{Axis: axis}
+	switch t := p.peek(); t.kind {
+	case tStar:
+		p.next()
+		st.Kind = pattern.TestElem
+	case tAt:
+		p.next()
+		switch nt := p.peek(); nt.kind {
+		case tStar:
+			p.next()
+			st.Kind = pattern.TestAttr
+		case tIdent:
+			p.next()
+			st.Kind = pattern.TestAttr
+			st.Name = nt.text
+		default:
+			return st, p.errf("expected attribute name after @")
+		}
+	case tIdent:
+		p.next()
+		if t.text == "text" && p.peek().kind == tLParen {
+			p.next()
+			if p.peek().kind != tRParen {
+				return st, p.errf("expected ) after text(")
+			}
+			p.next()
+			st.Kind = pattern.TestText
+		} else {
+			st.Kind = pattern.TestElem
+			st.Name = t.text
+		}
+	default:
+		return st, p.errf("expected step, found %q", t.text)
+	}
+	// Predicates.
+	for p.peek().kind == tLBrack {
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return st, err
+		}
+		if p.peek().kind != tRBrack {
+			return st, p.errf("expected ] after predicate")
+		}
+		p.next()
+		st.Preds = append(st.Preds, e)
+	}
+	return st, nil
+}
+
+func (p *parser) parseOr() (BoolExpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tIdent && p.peek().text == "or" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &OrExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (BoolExpr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tIdent && p.peek().text == "and" {
+		p.next()
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = &AndExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parsePrimary() (BoolExpr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tRParen {
+			return nil, p.errf("expected )")
+		}
+		p.next()
+		return e, nil
+	case t.kind == tIdent && t.text == "not" && p.toks[p.pos+1].kind == tLParen:
+		p.next()
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tRParen {
+			return nil, p.errf("expected ) after not(")
+		}
+		p.next()
+		return &NotExpr{E: e}, nil
+	case t.kind == tIdent && t.text == "contains" && p.toks[p.pos+1].kind == tLParen:
+		p.next()
+		p.next()
+		path, err := p.parsePath(false)
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tComma {
+			return nil, p.errf("expected , in contains()")
+		}
+		p.next()
+		lit := p.next()
+		if lit.kind != tString {
+			return nil, p.errf("contains() needs a string literal")
+		}
+		if p.peek().kind != tRParen {
+			return nil, p.errf("expected ) after contains()")
+		}
+		p.next()
+		return &Comparison{
+			Path:  path,
+			Op:    sqltype.ContainsSubstr,
+			Value: sqltype.Value{Type: sqltype.Varchar, S: lit.text},
+		}, nil
+	}
+	// A relative path, optionally compared to a literal.
+	path, err := p.parsePath(false)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tOp {
+		return &ExistsExpr{Path: path}, nil
+	}
+	opTok := p.next()
+	op, err := parseOp(opTok.text)
+	if err != nil {
+		return nil, p.errf("%v", err)
+	}
+	lit := p.next()
+	val, err := literalValue(lit)
+	if err != nil {
+		return nil, p.errf("%v", err)
+	}
+	return &Comparison{Path: path, Op: op, Value: val}, nil
+}
+
+func parseOp(s string) (sqltype.CmpOp, error) {
+	switch s {
+	case "=":
+		return sqltype.Eq, nil
+	case "!=":
+		return sqltype.Ne, nil
+	case "<":
+		return sqltype.Lt, nil
+	case "<=":
+		return sqltype.Le, nil
+	case ">":
+		return sqltype.Gt, nil
+	case ">=":
+		return sqltype.Ge, nil
+	}
+	return sqltype.Eq, fmt.Errorf("unknown operator %q", s)
+}
+
+func literalValue(t token) (sqltype.Value, error) {
+	switch t.kind {
+	case tNumber:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return sqltype.Value{}, fmt.Errorf("bad number %q", t.text)
+		}
+		return sqltype.Value{Type: sqltype.Double, F: f}, nil
+	case tString:
+		// Date-shaped strings are typed DATE so DATE indexes can serve
+		// the comparison; string order and date order agree for ISO
+		// dates, so semantics are unchanged.
+		if v, ok := sqltype.Cast(sqltype.Date, t.text); ok && looksLikeDate(t.text) {
+			return v, nil
+		}
+		return sqltype.Value{Type: sqltype.Varchar, S: t.text}, nil
+	}
+	return sqltype.Value{}, fmt.Errorf("expected literal, found %q", t.text)
+}
+
+func looksLikeDate(s string) bool {
+	s = strings.TrimSpace(s)
+	return len(s) >= 10 && s[4] == '-' || len(s) >= 10 && s[4] == '/'
+}
