@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -107,6 +108,11 @@ func BenchmarkE11AdvisorScalability(b *testing.B) {
 	runExperiment(b, experiments.E11AdvisorScalability)
 }
 
+// BenchmarkE12ParallelWhatIf regenerates the what-if parallelism table.
+func BenchmarkE12ParallelWhatIf(b *testing.B) {
+	runExperiment(b, experiments.E12ParallelWhatIf)
+}
+
 // BenchmarkAdvisorEndToEnd measures one full Recommend call on the
 // XMark workload (the advisor-runtime series).
 func BenchmarkAdvisorEndToEnd(b *testing.B) {
@@ -118,6 +124,37 @@ func BenchmarkAdvisorEndToEnd(b *testing.B) {
 		if _, err := a.Recommend(w); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAdvisorParallel sweeps the what-if engine's worker count on
+// the XMark workload: one full Recommend per iteration, reporting the
+// per-query evaluation count and cache hit rate alongside wall-clock.
+// The recommendation itself is identical at every worker count; only
+// the evaluation throughput changes.
+func BenchmarkAdvisorParallel(b *testing.B) {
+	env := benchEnv(b)
+	w := datagen.XMarkWorkload(20, 1)
+	for _, workers := range experiments.WorkerSweep() {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var evals, hits, misses int64
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultOptions()
+				opts.Parallelism = workers
+				a := core.New(env.Cat, opts)
+				rec, err := a.Recommend(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				evals += rec.Cache.Evaluations
+				hits += rec.Cache.Hits
+				misses += rec.Cache.Misses
+			}
+			b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+			if hits+misses > 0 {
+				b.ReportMetric(100*float64(hits)/float64(hits+misses), "cache-hit-%")
+			}
+		})
 	}
 }
 

@@ -18,7 +18,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "medium", "dataset scale: small or medium")
-	only := flag.String("only", "", "run a single experiment (E1..E10)")
+	only := flag.String("only", "", "run a single experiment (E1..E12)")
 	flag.Parse()
 
 	scale := experiments.Medium
@@ -51,6 +51,7 @@ func main() {
 		{"E9", experiments.E9CouplingAblation},
 		{"E10", experiments.E10InteractionAblation},
 		{"E11", experiments.E11AdvisorScalability},
+		{"E12", experiments.E12ParallelWhatIf},
 	}
 	ran := 0
 	for _, e := range exps {

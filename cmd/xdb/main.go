@@ -6,6 +6,7 @@
 //
 //	xdb                          # interactive
 //	xdb -c 'gen xmark 200 1; enumerate for $i in collection("auction")/site/regions/namerica/item where $i/quantity > 5 return $i/name'
+//	xdb -parallel 4              # what-if evaluation worker count
 //
 // Commands:
 //
@@ -19,11 +20,13 @@
 //	explain <query text>
 //	enumerate <query text>
 //	evaluate <pattern>:<type>[,<pattern>:<type>...] :: <query text>
+//	whatif <pattern>:<type>[,<pattern>:<type>...] :: <workload-file>
 //	help | quit
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,21 +43,25 @@ import (
 	"repro/internal/querylang"
 	"repro/internal/sqltype"
 	"repro/internal/store"
+	"repro/internal/whatif"
+	"repro/internal/workload"
 )
 
 type shell struct {
-	st  *store.Store
-	cat *catalog.Catalog
-	opt *optimizer.Optimizer
-	ex  *executor.Executor
-	out *bufio.Writer
+	st   *store.Store
+	cat  *catalog.Catalog
+	opt  *optimizer.Optimizer
+	what *whatif.Engine
+	ex   *executor.Executor
+	out  *bufio.Writer
 }
 
 func main() {
 	cmds := flag.String("c", "", "semicolon-separated commands to run non-interactively")
+	parallel := flag.Int("parallel", 0, "concurrent what-if evaluations (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	sh := newShell()
+	sh := newShell(*parallel)
 	defer sh.out.Flush()
 	if *cmds != "" {
 		for _, c := range strings.Split(*cmds, ";") {
@@ -90,15 +97,22 @@ func main() {
 	}
 }
 
-func newShell() *shell {
+func newShell(parallel int) *shell {
 	st := store.New()
 	cat := catalog.New(st)
+	opt := optimizer.New(cat)
+	// The shell's evaluate command does not hide real indexes (the DBA
+	// wants the configuration on top of what exists), so VirtualOnly is
+	// off — unlike the advisor's engine.
+	svc := &whatif.OptimizerService{Opt: opt}
 	return &shell{
 		st:  st,
 		cat: cat,
-		opt: optimizer.New(cat),
-		ex:  executor.New(cat),
-		out: bufio.NewWriter(os.Stdout),
+		opt: opt,
+		// The shell is long-lived; cap the cache like the advisor does.
+		what: whatif.NewEngine(svc, whatif.Options{Workers: parallel, MaxEntries: 1 << 16}),
+		ex:   executor.New(cat),
+		out:  bufio.NewWriter(os.Stdout),
 	}
 }
 
@@ -107,19 +121,25 @@ func (s *shell) run(line string) error {
 	rest = strings.TrimSpace(rest)
 	switch cmd {
 	case "help":
-		fmt.Fprintln(s.out, "commands: gen, load, ls, stats, create, drop, query, explain, enumerate, evaluate, quit")
+		fmt.Fprintln(s.out, "commands: gen, load, ls, stats, create, drop, query, explain, enumerate, evaluate, whatif, quit")
 		return nil
 	case "gen":
+		// Mutating commands invalidate memoized what-if costs: the
+		// engine's cache keys carry no catalog version.
+		s.what.Flush()
 		return s.cmdGen(rest)
 	case "load":
+		s.what.Flush()
 		return s.cmdLoad(rest)
 	case "ls":
 		return s.cmdLs()
 	case "stats":
 		return s.cmdStats(rest)
 	case "create":
+		s.what.Flush()
 		return s.cmdCreate(rest)
 	case "drop":
+		s.what.Flush()
 		if !s.cat.DropIndex(rest) {
 			return fmt.Errorf("no index %q", rest)
 		}
@@ -133,6 +153,8 @@ func (s *shell) run(line string) error {
 		return s.cmdEnumerate(rest)
 	case "evaluate":
 		return s.cmdEvaluate(rest)
+	case "whatif":
+		return s.cmdWhatIf(rest)
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -349,10 +371,90 @@ func (s *shell) cmdEvaluate(rest string) error {
 		}
 		defs = append(defs, catalog.VirtualDef(fmt.Sprintf("V%d", i+1), q.Collection, p, ty, st))
 	}
-	rep, err := s.opt.ExplainEvaluate(q, defs, false)
+	ev, err := s.what.EvaluateQuery(context.Background(), q, defs)
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(s.out, rep)
+	fmt.Fprint(s.out, ev.Explain(q.Text, defs))
+	return nil
+}
+
+// cmdWhatIf parses "<pattern>:<type>[,...] :: <workload-file>" and costs
+// the whole workload under the virtual configuration through the what-if
+// engine — the fan-out path the -parallel flag governs.
+func (s *shell) cmdWhatIf(rest string) error {
+	cfgStr, path, ok := strings.Cut(rest, "::")
+	if !ok {
+		return fmt.Errorf("usage: whatif <pattern>:<type>[,...] :: <workload-file>")
+	}
+	text, err := os.ReadFile(strings.TrimSpace(path))
+	if err != nil {
+		return err
+	}
+	w, err := workload.Parse(filepath.Base(strings.TrimSpace(path)), string(text))
+	if err != nil {
+		return err
+	}
+	if len(w.Queries) == 0 {
+		return fmt.Errorf("workload has no queries")
+	}
+	// Parse the configuration once, then instantiate one set of
+	// virtual defs per collection the workload touches; the engine
+	// hands each query only its own collection's indexes.
+	type cfgItem struct {
+		pat pattern.Pattern
+		ty  sqltype.Type
+	}
+	var items []cfgItem
+	for _, item := range strings.Split(strings.TrimSpace(cfgStr), ",") {
+		patStr, tyStr, ok := strings.Cut(strings.TrimSpace(item), ":")
+		if !ok {
+			return fmt.Errorf("config item %q: want <pattern>:<type>", item)
+		}
+		p, err := pattern.Parse(strings.TrimSpace(patStr))
+		if err != nil {
+			return err
+		}
+		ty, err := sqltype.ParseType(tyStr)
+		if err != nil {
+			return err
+		}
+		items = append(items, cfgItem{pat: p, ty: ty})
+	}
+	var defs []*catalog.IndexDef
+	seen := map[string]bool{}
+	queries := w.QueryList()
+	for _, e := range w.Queries {
+		coll := e.Query.Collection
+		if seen[coll] {
+			continue
+		}
+		seen[coll] = true
+		st, err := s.cat.Stats(coll)
+		if err != nil {
+			return err
+		}
+		for i, it := range items {
+			defs = append(defs, catalog.VirtualDef(fmt.Sprintf("V%d_%s", i+1, coll), coll, it.pat, it.ty, st))
+		}
+	}
+	before := s.what.Stats()
+	res, err := s.what.EvaluateConfig(context.Background(), queries, defs)
+	if err != nil {
+		return err
+	}
+	var noIdx, withIdx float64
+	fmt.Fprintf(s.out, "%-8s %12s %12s %10s  %s\n", "query", "no-index", "with-config", "benefit", "indexes used")
+	for qi, e := range w.Queries {
+		qe := res.Queries[qi]
+		noIdx += e.Weight * qe.CostNoIndexes
+		withIdx += e.Weight * qe.Cost
+		fmt.Fprintf(s.out, "%-8s %12.2f %12.2f %10.2f  %s\n",
+			e.Query.ID, qe.CostNoIndexes, qe.Cost, qe.Benefit(), strings.Join(qe.UsedIndexes, ","))
+	}
+	st := s.what.Stats().Sub(before)
+	fmt.Fprintf(s.out, "weighted: no-index %.1f, with-config %.1f (benefit %.1f)\n", noIdx, withIdx, noIdx-withIdx)
+	fmt.Fprintf(s.out, "what-if engine: %d workers, %d evaluations, %d hits, %d misses\n",
+		s.what.Workers(), st.Evaluations, st.Hits, st.Misses)
 	return nil
 }

@@ -5,6 +5,7 @@
 //
 //	xia -gen xmark:500:1 -workload data/xmark.workload -budget-kb 256 -search topdown
 //	xia -load auction=data/auction -workload data/xmark.workload -dag -trace
+//	xia -gen xmark:500:1 -workload data/xmark.workload -parallel 8 -cache-size 4096 -timeout 30s
 //
 // The -materialize flag additionally builds the recommended indexes and
 // reruns the workload to report actual execution times (the demo's final
@@ -12,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +40,10 @@ func main() {
 	showDAG := flag.Bool("dag", false, "print the candidate DAG")
 	showTrace := flag.Bool("trace", false, "print the search trace")
 	materialize := flag.Bool("materialize", false, "build recommended indexes and report actual execution times")
+	parallel := flag.Int("parallel", 0, "concurrent what-if evaluations (0 = GOMAXPROCS)")
+	cacheShards := flag.Int("cache-shards", 0, "what-if cache shard count (0 = default)")
+	cacheSize := flag.Int("cache-size", 0, "max memoized configuration evaluations (0 = default 65536, negative = unlimited)")
+	timeout := flag.Duration("timeout", 0, "abort the advisor after this duration (0 = none)")
 	flag.Parse()
 
 	if *wpath == "" {
@@ -59,6 +65,9 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.Generalize = !*noGen
+	opts.Parallelism = *parallel
+	opts.CacheShards = *cacheShards
+	opts.CacheSize = *cacheSize
 	if opts.Search, err = core.ParseSearchKind(*searchName); err != nil {
 		fatal(err)
 	}
@@ -70,11 +79,21 @@ func main() {
 	}
 	cat := catalog.New(st)
 	adv := core.New(cat, opts)
-	rec, err := adv.Recommend(w)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rec, err := adv.RecommendContext(ctx, w)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(rec.Report())
+	// rec.Report already covers evaluations and hits; add only what it
+	// lacks.
+	fmt.Printf("what-if engine: %d workers, %d cache misses (%.0f%% hit rate)\n",
+		adv.CostEngine().Workers(), rec.Cache.Misses, 100*rec.Cache.HitRate())
 	if *showDAG {
 		fmt.Println()
 		fmt.Print(rec.DAG.Render())

@@ -1,10 +1,15 @@
-// What-if analysis: drive the two new EXPLAIN modes directly, the way
-// the first part of the demonstration does (paper §3, Figures 2 and 3):
-// enumerate the basic candidates for a query, then estimate its cost
-// under hand-built virtual configurations — without creating any index.
+// What-if analysis: drive the two new EXPLAIN modes the way the first
+// part of the demonstration does (paper §3, Figures 2 and 3): enumerate
+// the basic candidates for a query, then estimate workload cost under
+// hand-built virtual configurations — without creating any index.
+//
+// The cost estimates go through the whatif service: configurations are
+// evaluated concurrently across a worker pool and memoized, so repeated
+// evaluations (the bread and butter of advisor search) are free.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +20,7 @@ import (
 	"repro/internal/querylang"
 	"repro/internal/sqltype"
 	"repro/internal/store"
+	"repro/internal/whatif"
 )
 
 func main() {
@@ -25,21 +31,20 @@ func main() {
 	cat := catalog.New(st)
 	opt := optimizer.New(cat)
 
-	q, err := querylang.ParseAuto(
-		`for $i in collection("auction")/site/regions/namerica/item where $i/price > 150 and $i/quantity > 5 return $i/name`)
-	if err != nil {
-		log.Fatal(err)
+	queries := []*querylang.Query{
+		mustParse(`for $i in collection("auction")/site/regions/namerica/item where $i/price > 150 and $i/quantity > 5 return $i/name`),
+		mustParse(`for $i in collection("auction")/site/regions/europe/item where $i/quantity > 3 return $i/name`),
 	}
 
 	// EXPLAIN mode 1: Enumerate Indexes (Figure 2).
-	rep, err := opt.ExplainEnumerate(q)
+	rep, err := opt.ExplainEnumerate(queries[0])
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(rep)
 
 	// EXPLAIN mode 2: Evaluate Indexes (Figure 3) over three virtual
-	// configurations of increasing generality.
+	// configurations of increasing generality, via the whatif engine.
 	stats, err := cat.Stats("auction")
 	if err != nil {
 		log.Fatal(err)
@@ -56,11 +61,34 @@ func main() {
 			catalog.VirtualDef("V_STAR", "auction", pattern.MustParse("/site/regions/*/item/*"), sqltype.Double, stats),
 		},
 	}
-	for _, name := range []string{"exact", "general", "item-star"} {
-		rep, err := opt.ExplainEvaluate(q, configs[name], true)
-		if err != nil {
-			log.Fatal(err)
+
+	eng := whatif.NewEngine(whatif.NewOptimizerService(opt), whatif.Options{})
+	ctx := context.Background()
+	for round := 1; round <= 2; round++ {
+		fmt.Printf("=== round %d ===\n", round)
+		for _, name := range []string{"exact", "general", "item-star"} {
+			res, err := eng.EvaluateConfig(ctx, queries, configs[name])
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("--- configuration %q ---\n", name)
+			for qi := range queries {
+				qe := res.Queries[qi]
+				fmt.Printf("Q%d: cost %.2f -> %.2f (benefit %.2f) using %v\n",
+					qi+1, qe.CostNoIndexes, qe.Cost, qe.Benefit(), qe.UsedIndexes)
+			}
 		}
-		fmt.Printf("--- configuration %q ---\n%s\n", name, rep)
 	}
+	// Round 2 was answered entirely from the cache.
+	s := eng.Stats()
+	fmt.Printf("\nwhat-if engine: %d workers, %d evaluations, %d misses, %d hits\n",
+		eng.Workers(), s.Evaluations, s.Misses, s.Hits)
+}
+
+func mustParse(text string) *querylang.Query {
+	q, err := querylang.ParseAuto(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return q
 }

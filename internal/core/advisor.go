@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/optimizer"
+	"repro/internal/whatif"
 	"repro/internal/workload"
 )
 
@@ -41,6 +44,17 @@ type Options struct {
 	// step of a candidate also generalizes to a descendant step
 	// (/a/b -> /a//b), useful when future workloads move subtrees.
 	RelaxAxes bool
+
+	// Parallelism bounds concurrent what-if query evaluations in the
+	// costing engine; 0 means GOMAXPROCS.
+	Parallelism int
+	// CacheShards is the what-if cache shard count (0 = default).
+	CacheShards int
+	// CacheSize caps the number of memoized configuration evaluations.
+	// 0 means the default cap (65536); negative means unlimited. The
+	// cache lives for the advisor's lifetime, so unbounded growth is
+	// opt-in only.
+	CacheSize int
 }
 
 // DefaultOptions returns the advisor defaults used by the demo tools.
@@ -54,27 +68,110 @@ func DefaultOptions() Options {
 	}
 }
 
-// Advisor recommends XML index configurations for workloads, using the
-// query optimizer for candidate enumeration and cost estimation.
+// Advisor recommends XML index configurations for workloads. Candidate
+// enumeration uses the query optimizer's Enumerate Indexes EXPLAIN mode;
+// all what-if costing goes through the whatif.CostService boundary,
+// wrapped in a concurrent memoizing engine.
 type Advisor struct {
 	cat  *catalog.Catalog
 	opt  *optimizer.Optimizer
+	cost *whatif.Engine
 	opts Options
+
+	// maintPerEntry is the index-maintenance cost per entry, taken from
+	// the backing cost model (benefit computation must not reach into
+	// the optimizer directly).
+	maintPerEntry float64
+
+	// verMu guards catVersions, the per-collection statistics versions
+	// the cached what-if costs were computed against. The engine's
+	// cache keys carry no catalog version, so the advisor flushes it
+	// whenever a workload collection's data has changed.
+	verMu       sync.Mutex
+	catVersions map[string]int64
 }
 
-// New creates an advisor over the catalog.
+// New creates an advisor over the catalog, costing through the
+// in-process optimizer.
 func New(cat *catalog.Catalog, opts Options) *Advisor {
+	opt := optimizer.New(cat)
+	return NewWithService(cat, opts, whatif.NewOptimizerService(opt), opt)
+}
+
+// NewWithService creates an advisor whose what-if costing goes through
+// the given service — the hook for alternative optimizer backends. The
+// optimizer is still used for candidate enumeration (and may be nil when
+// Options.Enumeration is EnumSyntactic).
+func NewWithService(cat *catalog.Catalog, opts Options, svc whatif.CostService, opt *optimizer.Optimizer) *Advisor {
 	if opts.MaxCandidates <= 0 {
 		opts.MaxCandidates = 400
 	}
 	if opts.MinSharedSteps < 0 {
 		opts.MinSharedSteps = 0
 	}
-	return &Advisor{cat: cat, opt: optimizer.New(cat), opts: opts}
+	cacheSize := opts.CacheSize
+	switch {
+	case cacheSize == 0:
+		cacheSize = 1 << 16
+	case cacheSize < 0:
+		cacheSize = 0 // engine semantics: 0 = unlimited
+	}
+	eng := whatif.NewEngine(svc, whatif.Options{
+		Workers:    opts.Parallelism,
+		Shards:     opts.CacheShards,
+		MaxEntries: cacheSize,
+	})
+	rate := optimizer.DefaultCost.MaintPerEntry
+	if opt != nil {
+		rate = opt.Cost.MaintPerEntry
+	}
+	return &Advisor{cat: cat, opt: opt, cost: eng, opts: opts, maintPerEntry: rate,
+		catVersions: map[string]int64{}}
+}
+
+// ensureFreshCosts flushes the what-if cache if any collection the
+// workload touches has changed since the cache was populated, so a
+// long-lived advisor never serves costs computed from stale statistics.
+func (a *Advisor) ensureFreshCosts(w *workload.Workload) error {
+	colls := map[string]bool{}
+	for _, e := range w.Queries {
+		colls[e.Query.Collection] = true
+	}
+	for _, u := range w.Updates {
+		colls[u.Collection] = true
+	}
+	a.verMu.Lock()
+	defer a.verMu.Unlock()
+	// Gather every version before committing any, so an error on one
+	// collection cannot record a newer version without the flush that
+	// must accompany it.
+	cur := make(map[string]int64, len(colls))
+	for coll := range colls {
+		st, err := a.cat.Stats(coll)
+		if err != nil {
+			return err
+		}
+		cur[coll] = st.Version
+	}
+	stale := false
+	for coll, v := range cur {
+		if prev, ok := a.catVersions[coll]; ok && prev != v {
+			stale = true
+		}
+		a.catVersions[coll] = v
+	}
+	if stale {
+		a.cost.Flush()
+	}
+	return nil
 }
 
 // Optimizer exposes the advisor's optimizer (shared cost model).
 func (a *Advisor) Optimizer() *optimizer.Optimizer { return a.opt }
+
+// CostEngine exposes the advisor's what-if evaluation engine (cache and
+// evaluation counters).
+func (a *Advisor) CostEngine() *whatif.Engine { return a.cost }
 
 // QueryAnalysis is the per-query cost comparison of the recommendation
 // analysis screen (paper Figure 5): original cost, cost under the
@@ -110,17 +207,36 @@ type Recommendation struct {
 	DAG    *DAG
 	// Trace records the search steps.
 	Trace []string
-	// Evaluations counts Evaluate Indexes optimizer calls.
+	// Evaluations counts per-query what-if evaluations issued during
+	// this run (cache misses only; hits cost nothing).
 	Evaluations int
+	// Cache holds the what-if engine counter deltas for this run. The
+	// deltas are windows over the advisor's shared engine counters:
+	// they are accurate when runs on one Advisor do not overlap, and
+	// approximate if Recommend/EvaluateOn/AnalyzeConfig run
+	// concurrently on the same Advisor (the evaluations themselves
+	// remain correct either way).
+	Cache whatif.Stats
 	// Elapsed is the advisor runtime.
 	Elapsed time.Duration
 }
 
 // Recommend runs the full index recommendation pipeline on the workload.
 func (a *Advisor) Recommend(w *workload.Workload) (*Recommendation, error) {
+	return a.RecommendContext(context.Background(), w)
+}
+
+// RecommendContext is Recommend with cancellation: the context is
+// threaded through every what-if evaluation, so a cancelled or expired
+// context aborts the search promptly.
+func (a *Advisor) RecommendContext(ctx context.Context, w *workload.Workload) (*Recommendation, error) {
 	start := time.Now()
+	statsBefore := a.cost.Stats()
 	if len(w.Queries) == 0 {
 		return nil, fmt.Errorf("core: workload has no queries")
+	}
+	if err := a.ensureFreshCosts(w); err != nil {
+		return nil, err
 	}
 
 	basics, err := a.enumerateBasic(w)
@@ -131,7 +247,7 @@ func (a *Advisor) Recommend(w *workload.Workload) (*Recommendation, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev, err := a.newEvaluator(w)
+	ev, err := a.newEvaluator(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +313,8 @@ func (a *Advisor) Recommend(w *workload.Workload) (*Recommendation, error) {
 		sort.Strings(qa.IndexesUsed)
 		rec.PerQuery = append(rec.PerQuery, qa)
 	}
-	rec.Evaluations = ev.Evaluations
+	rec.Cache = a.cost.Stats().Sub(statsBefore)
+	rec.Evaluations = int(rec.Cache.Evaluations)
 	rec.Elapsed = time.Since(start)
 	return rec, nil
 }
@@ -213,57 +330,53 @@ func catalogDDL(name string, c *Candidate) string {
 // more queries" feature). It returns total weighted cost without
 // indexes, with the configuration, and the benefit.
 func (a *Advisor) EvaluateOn(w *workload.Workload, config []*Candidate) (noIdx, withIdx float64, err error) {
+	res, err := a.evalWorkload(context.Background(), w, config)
+	if err != nil {
+		return 0, 0, err
+	}
+	for qi, e := range w.Queries {
+		noIdx += e.Weight * res.Queries[qi].CostNoIndexes
+		withIdx += e.Weight * res.Queries[qi].Cost
+	}
+	return noIdx, withIdx, nil
+}
+
+// evalWorkload costs an arbitrary workload under a candidate
+// configuration through the what-if engine.
+func (a *Advisor) evalWorkload(ctx context.Context, w *workload.Workload, config []*Candidate) (*whatif.ConfigEval, error) {
+	if err := a.ensureFreshCosts(w); err != nil {
+		return nil, err
+	}
 	defs := make([]*catalog.IndexDef, len(config))
 	for i, c := range config {
 		defs[i] = c.Def
 	}
-	for _, e := range w.Queries {
-		var qdefs []*catalog.IndexDef
-		for i, c := range config {
-			if c.Collection == e.Query.Collection {
-				qdefs = append(qdefs, defs[i])
-			}
-		}
-		res, err := a.opt.EvaluateIndexes(e.Query, qdefs, true)
-		if err != nil {
-			return 0, 0, err
-		}
-		noIdx += e.Weight * res.CostNoIndexes
-		withIdx += e.Weight * res.Cost
-	}
-	return noIdx, withIdx, nil
+	return a.cost.EvaluateConfig(ctx, w.QueryList(), defs)
 }
 
 // AnalyzeConfig re-runs the per-query analysis for a user-modified
 // configuration — the demo's Figure 5 feature of adding/removing indexes
 // from the recommendation and seeing the effect on every query.
 func (a *Advisor) AnalyzeConfig(w *workload.Workload, config []*Candidate) ([]QueryAnalysis, error) {
-	defs := make([]*catalog.IndexDef, len(config))
 	names := map[string]string{}
 	for i, c := range config {
-		defs[i] = c.Def
 		names[c.Def.Name] = fmt.Sprintf("XIA_IDX%d", i+1)
 	}
+	res, err := a.evalWorkload(context.Background(), w, config)
+	if err != nil {
+		return nil, err
+	}
 	var out []QueryAnalysis
-	for _, e := range w.Queries {
-		var qdefs []*catalog.IndexDef
-		for i, c := range config {
-			if c.Collection == e.Query.Collection {
-				qdefs = append(qdefs, defs[i])
-			}
-		}
-		res, err := a.opt.EvaluateIndexes(e.Query, qdefs, true)
-		if err != nil {
-			return nil, err
-		}
+	for qi, e := range w.Queries {
+		qe := res.Queries[qi]
 		qa := QueryAnalysis{
 			ID:              e.Query.ID,
 			Text:            e.Query.Text,
 			Weight:          e.Weight,
-			CostNoIndexes:   res.CostNoIndexes,
-			CostRecommended: res.Cost,
+			CostNoIndexes:   qe.CostNoIndexes,
+			CostRecommended: qe.Cost,
 		}
-		for _, n := range res.UsedIndexes {
+		for _, n := range qe.UsedIndexes {
 			qa.IndexesUsed = append(qa.IndexesUsed, names[n])
 		}
 		sort.Strings(qa.IndexesUsed)
@@ -316,6 +429,7 @@ func (rec *Recommendation) Report() string {
 		fmt.Fprintf(&sb, "%-6s %10.1f %12.1f %12.1f  %s\n",
 			qa.ID, qa.CostNoIndexes, qa.CostRecommended, qa.CostOvertrained, strings.Join(qa.IndexesUsed, ","))
 	}
-	fmt.Fprintf(&sb, "\nadvisor runtime: %v (%d optimizer evaluations)\n", rec.Elapsed.Round(time.Millisecond), rec.Evaluations)
+	fmt.Fprintf(&sb, "\nadvisor runtime: %v (%d what-if evaluations, %d cache hits)\n",
+		rec.Elapsed.Round(time.Millisecond), rec.Evaluations, rec.Cache.Hits)
 	return sb.String()
 }

@@ -306,6 +306,32 @@ func TestSyntacticEnumerationIsWorse(t *testing.T) {
 	}
 }
 
+func TestAdvisorRefreshesCostsAfterDataChange(t *testing.T) {
+	cat := xmarkFixture(t, 100)
+	a := New(cat, DefaultOptions())
+	w := datagen.XMarkPaperWorkload()
+	rec1, err := a.Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow the collection under the same long-lived advisor: the
+	// what-if cache must be flushed, not serve the 100-doc costs.
+	col := cat.Store().Get("auction")
+	for i := 0; i < 50; i++ {
+		if _, err := col.InsertXML("<site><regions><namerica><item><price>10</price><quantity>1</quantity><name>x</name></item></namerica></regions></site>"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec2, err := a.Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.PerQuery[0].CostNoIndexes <= rec1.PerQuery[0].CostNoIndexes {
+		t.Errorf("stale costs after data change: %f -> %f",
+			rec1.PerQuery[0].CostNoIndexes, rec2.PerQuery[0].CostNoIndexes)
+	}
+}
+
 func TestEmptyWorkloadFails(t *testing.T) {
 	cat := xmarkFixture(t, 10)
 	a := New(cat, DefaultOptions())

@@ -1,39 +1,46 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sort"
-	"strings"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/pattern"
 	"repro/internal/sqltype"
+	"repro/internal/whatif"
 	"repro/internal/workload"
 	"repro/internal/xmldoc"
 )
 
-// evaluator computes workload benefits of candidate configurations by
-// repeated Evaluate Indexes calls, memoizing per (query, configuration)
-// since searches revisit the same configurations constantly. It also
-// charges index maintenance for the workload's update statements.
+// evaluator computes workload benefits of candidate configurations. All
+// what-if costing goes through the advisor's whatif engine, which fans
+// per-query evaluations across a worker pool and memoizes configuration
+// results; the evaluator only derives workload-level aggregates (weighted
+// benefit, update cost, candidate usage) from the engine's per-query
+// costs. It is safe for concurrent use, so searches can evaluate many
+// configurations at once.
 type evaluator struct {
-	a *Advisor
-	w *workload.Workload
+	a   *Advisor
+	w   *workload.Workload
+	ctx context.Context
 
+	// bound scopes the engine to the workload's query list, with the
+	// workload fingerprint precomputed.
+	bound *whatif.Bound
 	// baseCost[qi] is the document-scan cost of query qi.
 	baseCost []float64
-	// cache maps configKey -> evaluation outcome.
-	cache map[string]*configEval
-	// insertEntries caches, per update index, the parsed sample
-	// document's entry counts by candidate key.
+	// insertDocs caches, per update index, the parsed sample document.
 	insertDocs []*xmldoc.Document
 
-	// Evaluations counts optimizer Evaluate Indexes calls (reported in
-	// the advisor trace).
-	Evaluations int
+	// entryMu guards entryCount, the memoized per-(update, candidate)
+	// index-entry counts behind updateCost — the one expensive
+	// non-optimizer computation, shared across concurrent evals.
+	entryMu    sync.Mutex
+	entryCount map[[2]int]int
 }
 
-// configEval is the memoized outcome for one configuration.
+// configEval is the derived evaluation of one configuration.
 type configEval struct {
 	// queryCost[qi] is the estimated cost of query qi under the config.
 	queryCost []float64
@@ -49,14 +56,15 @@ type configEval struct {
 	UsedSet map[int]bool
 }
 
-func (a *Advisor) newEvaluator(w *workload.Workload) (*evaluator, error) {
-	ev := &evaluator{a: a, w: w, cache: map[string]*configEval{}}
-	for _, e := range w.Queries {
-		plan, err := a.opt.EvaluateIndexes(e.Query, nil, true)
-		if err != nil {
-			return nil, err
-		}
-		ev.baseCost = append(ev.baseCost, plan.CostNoIndexes)
+func (a *Advisor) newEvaluator(ctx context.Context, w *workload.Workload) (*evaluator, error) {
+	ev := &evaluator{a: a, w: w, ctx: ctx, bound: a.cost.Bind(w.QueryList()), entryCount: map[[2]int]int{}}
+	// The empty configuration gives every query's document-scan cost.
+	base, err := ev.bound.EvaluateConfig(ctx, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, qe := range base.Queries {
+		ev.baseCost = append(ev.baseCost, qe.CostNoIndexes)
 	}
 	for _, u := range w.Updates {
 		var d *xmldoc.Document
@@ -72,60 +80,80 @@ func (a *Advisor) newEvaluator(w *workload.Workload) (*evaluator, error) {
 	return ev, nil
 }
 
-func configKey(cfg []*Candidate) string {
-	ids := make([]int, len(cfg))
-	for i, c := range cfg {
-		ids[i] = c.ID
-	}
-	sort.Ints(ids)
-	var sb strings.Builder
-	for _, id := range ids {
-		fmt.Fprintf(&sb, "%d,", id)
-	}
-	return sb.String()
-}
-
-// eval returns the (memoized) evaluation of a configuration.
+// eval returns the evaluation of a configuration. The underlying
+// per-query costs are memoized by the whatif engine; the derivation here
+// is cheap (no optimizer calls).
 func (ev *evaluator) eval(cfg []*Candidate) (*configEval, error) {
-	key := configKey(cfg)
-	if got, ok := ev.cache[key]; ok {
-		return got, nil
-	}
 	defs := make([]*catalog.IndexDef, len(cfg))
-	defByName := map[string]int{}
+	defByName := make(map[string]int, len(cfg))
 	for i, c := range cfg {
 		defs[i] = c.Def
 		defByName[c.Def.Name] = c.ID
 	}
+	res, err := ev.bound.EvaluateConfig(ev.ctx, defs)
+	if err != nil {
+		return nil, err
+	}
 	out := &configEval{UsedSet: map[int]bool{}}
 	for qi, e := range ev.w.Queries {
-		// Only pass same-collection defs; the optimizer ignores others
-		// anyway but this keeps matching cheap.
-		var qdefs []*catalog.IndexDef
-		for i, c := range cfg {
-			if c.Collection == e.Query.Collection {
-				qdefs = append(qdefs, defs[i])
-			}
-		}
-		res, err := ev.a.opt.EvaluateIndexes(e.Query, qdefs, true)
-		if err != nil {
-			return nil, err
-		}
-		ev.Evaluations++
-		out.queryCost = append(out.queryCost, res.Cost)
+		qe := res.Queries[qi]
+		out.queryCost = append(out.queryCost, qe.Cost)
 		var used []int
-		for _, name := range res.UsedIndexes {
+		for _, name := range qe.UsedIndexes {
 			if id, ok := defByName[name]; ok {
 				used = append(used, id)
 				out.UsedSet[id] = true
 			}
 		}
 		out.usedBy = append(out.usedBy, used)
-		out.QueryBenefit += e.Weight * (ev.baseCost[qi] - res.Cost)
+		out.QueryBenefit += e.Weight * (ev.baseCost[qi] - qe.Cost)
 	}
 	out.UpdateCost = ev.updateCost(cfg)
 	out.Net = out.QueryBenefit - out.UpdateCost
-	ev.cache[key] = out
+	return out, nil
+}
+
+// evalConfigs evaluates base+{c} for every candidate in cands
+// concurrently, bounded by the engine's worker count. Results are in
+// cands order.
+func (ev *evaluator) evalConfigs(base []*Candidate, cands []*Candidate) ([]*configEval, error) {
+	out := make([]*configEval, len(cands))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, ev.a.cost.Workers())
+	for i, c := range cands {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		cfg := make([]*Candidate, 0, len(base)+1)
+		cfg = append(append(cfg, base...), c)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, cfg []*Candidate) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			e, err := ev.eval(cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			out[i] = e
+		}(i, cfg)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	return out, nil
 }
 
@@ -136,7 +164,7 @@ func (ev *evaluator) updateCost(cfg []*Candidate) float64 {
 	if len(ev.w.Updates) == 0 {
 		return 0
 	}
-	perEntry := ev.a.opt.Cost.MaintPerEntry
+	perEntry := ev.a.maintPerEntry
 	var total float64
 	for ui, u := range ev.w.Updates {
 		for _, c := range cfg {
@@ -145,11 +173,10 @@ func (ev *evaluator) updateCost(cfg []*Candidate) float64 {
 			}
 			switch u.Kind {
 			case workload.UpdateInsert:
-				d := ev.insertDocs[ui]
-				if d == nil {
+				if ev.insertDocs[ui] == nil {
 					continue
 				}
-				total += u.Weight * float64(docEntriesFor(d, c)) * perEntry
+				total += u.Weight * float64(ev.docEntries(ui, c)) * perEntry
 			case workload.UpdateDelete:
 				// Deleting a document removes its entries from every
 				// index; estimate with the index's average entries per
@@ -168,6 +195,23 @@ func (ev *evaluator) updateCost(cfg []*Candidate) float64 {
 		}
 	}
 	return total
+}
+
+// docEntries is the memoized entry count of update ui's sample document
+// in candidate c's index.
+func (ev *evaluator) docEntries(ui int, c *Candidate) int {
+	key := [2]int{ui, c.ID}
+	ev.entryMu.Lock()
+	n, ok := ev.entryCount[key]
+	ev.entryMu.Unlock()
+	if ok {
+		return n
+	}
+	n = docEntriesFor(ev.insertDocs[ui], c)
+	ev.entryMu.Lock()
+	ev.entryCount[key] = n
+	ev.entryMu.Unlock()
+	return n
 }
 
 // docScope reduces a pattern to its first step: two patterns can share a
@@ -203,15 +247,15 @@ func docEntriesFor(d *xmldoc.Document, c *Candidate) int {
 }
 
 // standalone returns each candidate's net benefit evaluated alone,
-// in candidate order.
+// keyed by candidate ID. Candidates are evaluated concurrently.
 func (ev *evaluator) standalone(cands []*Candidate) (map[int]*configEval, error) {
+	evals, err := ev.evalConfigs(nil, cands)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[int]*configEval, len(cands))
-	for _, c := range cands {
-		e, err := ev.eval([]*Candidate{c})
-		if err != nil {
-			return nil, err
-		}
-		out[c.ID] = e
+	for i, c := range cands {
+		out[c.ID] = evals[i]
 	}
 	return out, nil
 }

@@ -156,9 +156,9 @@ func (a *Advisor) searchGreedyHeuristic(cands []*Candidate, ev *evaluator) (*sea
 	}
 	for {
 		pages := pagesOf(config)
-		var best *Candidate
-		var bestEval *configEval
-		bestRatio := 0.0
+		// Eligible candidates, in standalone-density order (inherited
+		// from the sort above): budget and redundancy filters first.
+		var elig []*Candidate
 		for _, c := range remaining {
 			if !a.fitsBudget(pages + c.Pages()) {
 				continue
@@ -167,25 +167,55 @@ func (a *Advisor) searchGreedyHeuristic(cands []*Candidate, ev *evaluator) (*sea
 			if c.covers.subset(covered) {
 				continue
 			}
-			// Upper-bound pruning: the marginal benefit of c cannot
-			// meaningfully exceed its standalone benefit, so a
-			// standalone density below the best found ratio cannot win.
-			if best != nil && ratio(alone[c.ID].Net, c.Pages()) <= bestRatio {
-				continue
-			}
-			var marg float64
-			var candEval *configEval
-			if a.opts.InteractionAware {
-				candEval, err = ev.eval(append(config, c))
+			elig = append(elig, c)
+		}
+		var best *Candidate
+		var bestEval *configEval
+		bestRatio := 0.0
+		if a.opts.InteractionAware {
+			// Marginal re-evaluation, parallelized in worker-sized
+			// chunks down the density-ordered prefix. Upper-bound
+			// pruning applies exactly as in the sequential algorithm —
+			// the marginal benefit of c cannot meaningfully exceed its
+			// standalone benefit, so the scan stops at the first
+			// candidate whose standalone density is at or below the
+			// best found ratio. Chunk members past the cutoff were
+			// evaluated speculatively; their results are discarded, so
+			// the recommendation is independent of the worker count.
+			chunk := ev.a.cost.Workers() // always >= 1
+			stopped := false
+			for start := 0; start < len(elig) && !stopped; start += chunk {
+				// Free prune at the batch boundary: if the cutoff
+				// already holds for the batch's densest candidate, no
+				// member can win — skip the speculative evaluations.
+				if best != nil && ratio(alone[elig[start].ID].Net, elig[start].Pages()) <= bestRatio {
+					break
+				}
+				end := start + chunk
+				if end > len(elig) {
+					end = len(elig)
+				}
+				batch := elig[start:end]
+				evals, err := ev.evalConfigs(config, batch)
 				if err != nil {
 					return nil, err
 				}
-				marg = candEval.Net - curEval.Net
-			} else {
-				marg = alone[c.ID].Net
+				for i, c := range batch {
+					if best != nil && ratio(alone[c.ID].Net, c.Pages()) <= bestRatio {
+						stopped = true
+						break
+					}
+					marg := evals[i].Net - curEval.Net
+					if r := ratio(marg, c.Pages()); marg > 0 && (best == nil || r > bestRatio) {
+						best, bestEval, bestRatio = c, evals[i], r
+					}
+				}
 			}
-			if r := ratio(marg, c.Pages()); marg > 0 && (best == nil || r > bestRatio) {
-				best, bestEval, bestRatio = c, candEval, r
+		} else {
+			for _, c := range elig {
+				if r := ratio(alone[c.ID].Net, c.Pages()); alone[c.ID].Net > 0 && (best == nil || r > bestRatio) {
+					best, bestRatio = c, r
+				}
 			}
 		}
 		if best == nil {

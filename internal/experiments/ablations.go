@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -49,7 +50,7 @@ func E10InteractionAblation(env *Env) (string, error) {
 		return "", err
 	}
 	t := newTable("E10: index-interaction-aware greedy vs standalone-benefit greedy",
-		"interaction", "budget", "#idx", "pages", "net benefit", "evaluations")
+		"interaction", "budget", "#idx", "pages", "net benefit", "evaluations", "cache hit%")
 	for _, frac := range []float64{0.25, 0.5} {
 		budget := int64(float64(over) * frac)
 		for _, aware := range []bool{false, true} {
@@ -61,7 +62,8 @@ func E10InteractionAblation(env *Env) (string, error) {
 			if err != nil {
 				return "", err
 			}
-			t.add(boolName(aware), budget, len(rec.Config), rec.TotalPages, rec.NetBenefit, rec.Evaluations)
+			t.add(boolName(aware), budget, len(rec.Config), rec.TotalPages, rec.NetBenefit,
+				rec.Evaluations, 100*rec.Cache.HitRate())
 		}
 	}
 	return t.String(), nil
@@ -79,7 +81,7 @@ func boolName(b bool) string {
 // own cost, which a DBA-facing tool must keep manageable.
 func E11AdvisorScalability(env *Env) (string, error) {
 	t := newTable("E11: advisor runtime vs workload size",
-		"#queries", "#basic", "#cands", "#idx", "evaluations", "runtime")
+		"#queries", "#basic", "#cands", "#idx", "evaluations", "cache hit%", "runtime")
 	for _, n := range []int{5, 10, 20, 40, 80} {
 		w := datagen.XMarkWorkload(n, 1)
 		a := env.advisor(core.DefaultOptions())
@@ -88,13 +90,44 @@ func E11AdvisorScalability(env *Env) (string, error) {
 			return "", err
 		}
 		t.add(n, len(rec.Basics), len(rec.DAG.Nodes), len(rec.Config),
-			rec.Evaluations, rec.Elapsed.Round(time.Millisecond).String())
+			rec.Evaluations, 100*rec.Cache.HitRate(), rec.Elapsed.Round(time.Millisecond).String())
 	}
 	return t.String(), nil
 }
 
+// E12ParallelWhatIf measures how the advisor scales with the what-if
+// engine's worker count: identical recommendations, falling wall-clock.
+// This is the payoff of decoupling search from the optimizer behind the
+// concurrent whatif.CostService.
+func E12ParallelWhatIf(env *Env) (string, error) {
+	t := newTable("E12: what-if evaluation parallelism (XMark workload, greedy-heuristic search)",
+		"workers", "#idx", "net benefit", "evaluations", "cache hits", "hit%", "runtime")
+	for _, wk := range WorkerSweep() {
+		opts := core.DefaultOptions()
+		opts.Parallelism = wk
+		a := env.advisor(opts)
+		rec, err := a.Recommend(env.XMarkWorkload)
+		if err != nil {
+			return "", err
+		}
+		t.add(wk, len(rec.Config), rec.NetBenefit, rec.Evaluations,
+			int(rec.Cache.Hits), 100*rec.Cache.HitRate(), rec.Elapsed.Round(time.Millisecond).String())
+	}
+	return t.String(), nil
+}
+
+// WorkerSweep is the worker-count series E12 and BenchmarkAdvisorParallel
+// share: 1, 2, 4, plus the host's CPU count when larger.
+func WorkerSweep() []int {
+	set := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		set = append(set, n)
+	}
+	return set
+}
+
 // All runs every experiment at the given scale, returning the reports in
-// order E1..E10.
+// order E1..E12.
 func All(s Scale) ([]string, error) {
 	env, err := BuildEnv(s)
 	if err != nil {
@@ -116,6 +149,7 @@ func All(s Scale) ([]string, error) {
 		{"E9", E9CouplingAblation},
 		{"E10", E10InteractionAblation},
 		{"E11", E11AdvisorScalability},
+		{"E12", E12ParallelWhatIf},
 	}
 	var out []string
 	for _, e := range exps {

@@ -122,6 +122,36 @@ func TestE10(t *testing.T) {
 	}
 }
 
+func TestE12(t *testing.T) {
+	rep, err := E12ParallelWhatIf(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep, "workers") || !strings.Contains(rep, "hit%") {
+		t.Errorf("report:\n%s", rep)
+	}
+	// The recommendation must not depend on the worker count: every row
+	// reports the same index count and net benefit.
+	lines := strings.Split(strings.TrimSpace(rep), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("table too short:\n%s", rep)
+	}
+	var first []string
+	for _, ln := range lines[3:] {
+		f := strings.Fields(ln)
+		if len(f) < 3 {
+			continue
+		}
+		if first == nil {
+			first = f
+			continue
+		}
+		if f[1] != first[1] || f[2] != first[2] {
+			t.Errorf("worker count changed the recommendation:\n%s", rep)
+		}
+	}
+}
+
 func TestEnvDeterministicAndCached(t *testing.T) {
 	a, err := BuildEnv(Small)
 	if err != nil {
@@ -164,8 +194,8 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 11 {
-		t.Fatalf("All returned %d reports, want 11", len(reports))
+	if len(reports) != 12 {
+		t.Fatalf("All returned %d reports, want 12", len(reports))
 	}
 	for i, r := range reports {
 		if r == "" {

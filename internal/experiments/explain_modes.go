@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/pattern"
 	"repro/internal/sqltype"
+	"repro/internal/whatif"
 )
 
 // E1EnumerateIndexes reproduces the Enumerate Indexes demonstration
@@ -54,6 +56,7 @@ func candList(cands []optimizer.Candidate, max int) string {
 // index configurations, without building anything.
 func E2EvaluateIndexes(env *Env) (string, error) {
 	opt := env.optimizer()
+	eng := whatif.NewEngine(whatif.NewOptimizerService(opt), whatif.Options{})
 	st, err := opt.Cat.Stats("auction")
 	if err != nil {
 		return "", err
@@ -76,14 +79,24 @@ func E2EvaluateIndexes(env *Env) (string, error) {
 	}
 	t := newTable("E2: Evaluate Indexes mode — estimated cost per configuration (Figure 3)",
 		"query", "config", "est cost", "benefit", "indexes used")
-	for _, e := range env.PaperWorkload.Queries {
-		for _, cfg := range configs {
-			ev, err := opt.EvaluateIndexes(e.Query, cfg.defs, true)
-			if err != nil {
-				return "", err
-			}
-			t.add(e.Query.ID, cfg.name, ev.Cost, ev.Benefit, strings.Join(ev.UsedIndexes, ","))
+	// Each configuration is evaluated over the whole workload through
+	// the what-if service, exactly as advisor search does.
+	qs := env.PaperWorkload.QueryList()
+	byConfig := make([]*whatif.ConfigEval, len(configs))
+	for ci, cfg := range configs {
+		res, err := eng.EvaluateConfig(context.Background(), qs, cfg.defs)
+		if err != nil {
+			return "", err
+		}
+		byConfig[ci] = res
+	}
+	for qi, e := range env.PaperWorkload.Queries {
+		for ci, cfg := range configs {
+			qe := byConfig[ci].Queries[qi]
+			t.add(e.Query.ID, cfg.name, qe.Cost, qe.Benefit(), strings.Join(qe.UsedIndexes, ","))
 		}
 	}
-	return t.String(), nil
+	st2 := eng.Stats()
+	return t.String() + fmt.Sprintf("what-if service: %d evaluations, %d cache misses, %d hits\n",
+		st2.Evaluations, st2.Misses, st2.Hits), nil
 }

@@ -151,7 +151,7 @@ func E6SearchStrategies(env *Env) (string, error) {
 		return "", err
 	}
 	t := newTable("E6: search strategies across disk budgets (fractions of overtrained size)",
-		"budget%", "search", "#idx", "pages", "net benefit", "#unused")
+		"budget%", "search", "#idx", "pages", "net benefit", "#unused", "evals")
 	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
 		budget := int64(float64(over) * frac)
 		if budget < 1 {
@@ -173,7 +173,7 @@ func E6SearchStrategies(env *Env) (string, error) {
 				}
 			}
 			unused := len(rec.Config) - len(used)
-			t.add(int(frac*100), kind.String(), len(rec.Config), rec.TotalPages, rec.NetBenefit, unused)
+			t.add(int(frac*100), kind.String(), len(rec.Config), rec.TotalPages, rec.NetBenefit, unused, rec.Evaluations)
 		}
 	}
 	return t.String(), nil

@@ -17,7 +17,7 @@ import (
 // benefit and the advisor recommends fewer/smaller indexes.
 func E7UpdateCost(env *Env) (string, error) {
 	t := newTable("E7: recommendation vs update share (update weight as multiple of query weight)",
-		"upd:qry ratio", "#idx", "pages", "query benefit", "update cost", "net benefit")
+		"upd:qry ratio", "#idx", "pages", "query benefit", "update cost", "net benefit", "evals")
 	for _, ratio := range []float64{0, 1, 5, 20, 50, 100} {
 		w := datagen.XMarkWorkload(20, 1)
 		if ratio > 0 {
@@ -29,7 +29,7 @@ func E7UpdateCost(env *Env) (string, error) {
 			return "", err
 		}
 		t.add(fmt.Sprintf("%.1f", ratio), len(rec.Config), rec.TotalPages,
-			rec.QueryBenefit, rec.UpdateCost, rec.NetBenefit)
+			rec.QueryBenefit, rec.UpdateCost, rec.NetBenefit, rec.Evaluations)
 	}
 	return t.String(), nil
 }

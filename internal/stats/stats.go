@@ -49,7 +49,8 @@ type PathStat struct {
 	strSample []string  // reservoir sample of string values
 	seen      int64     // reservoir counter
 
-	numHist *Histogram // built lazily from numSample
+	histOnce sync.Once
+	numHist  *Histogram // built lazily from numSample
 }
 
 // Distinct returns the (possibly estimated) number of distinct values.
@@ -143,9 +144,13 @@ func reservoirAdd[T any](sample *[]T, v T, seen int64, rng *rand.Rand) {
 // NumHistogram returns the equi-depth histogram over the path's numeric
 // values, or nil if there are none.
 func (ps *PathStat) NumHistogram() *Histogram {
-	if ps.numHist == nil && len(ps.numSample) > 0 {
-		ps.numHist = NewEquiDepth(ps.numSample, 32)
-	}
+	// Concurrent what-if evaluations share the stats snapshot, so the
+	// lazy build must be race-free.
+	ps.histOnce.Do(func() {
+		if len(ps.numSample) > 0 {
+			ps.numHist = NewEquiDepth(ps.numSample, 32)
+		}
+	})
 	return ps.numHist
 }
 

@@ -1,0 +1,426 @@
+package whatif
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/querylang"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Workers bounds concurrent per-query cost evaluations across all
+	// callers of the engine; 0 means GOMAXPROCS.
+	Workers int
+	// Shards is the cache shard count (rounded up to a power of two);
+	// 0 means 16.
+	Shards int
+	// MaxEntries caps the number of memoized configuration evaluations
+	// (approximately, split across shards); 0 means unlimited.
+	MaxEntries int
+}
+
+// Stats are the engine's monotonic counters. A cache "hit" includes
+// joining an in-flight evaluation of the same configuration (the
+// singleflight path); "evaluations" counts per-query CostService calls.
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	Evaluations int64
+}
+
+// HitRate is hits / (hits + misses), or 0 when nothing was looked up.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s Stats) Sub(earlier Stats) Stats {
+	return Stats{
+		Hits:        s.Hits - earlier.Hits,
+		Misses:      s.Misses - earlier.Misses,
+		Evaluations: s.Evaluations - earlier.Evaluations,
+	}
+}
+
+// ConfigEval is one memoized configuration evaluation: the cost of every
+// query (in input order) under the configuration. Cached values are
+// shared between callers and must not be mutated.
+type ConfigEval struct {
+	Queries []QueryEval
+}
+
+// entry is one cache slot; ready is closed once val/err are set, so
+// concurrent requests for the same key wait instead of re-evaluating.
+type entry struct {
+	ready chan struct{}
+	val   *ConfigEval
+	err   error
+}
+
+// orderEntry is one FIFO slot of a shard's eviction queue. The entry
+// pointer distinguishes a live slot from a stale one left behind by
+// remove or by re-insertion of the same key (lazy deletion keeps both
+// remove and eviction O(1) amortized).
+type orderEntry struct {
+	key string
+	ent *entry
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	m     map[string]*entry
+	order []orderEntry // FIFO from head; slots before head are consumed
+	head  int
+}
+
+// Engine is a concurrent, memoizing what-if evaluator over a
+// CostService. It is safe for concurrent use.
+type Engine struct {
+	svc     CostService
+	workers int
+	sem     chan struct{} // global per-query evaluation slots
+
+	shards      []*cacheShard
+	shardMask   uint32
+	maxPerShard int
+
+	hits, misses, evals atomic.Int64
+}
+
+// NewEngine wraps the service in a concurrent memoizing engine.
+func NewEngine(svc CostService, o Options) *Engine {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nShards := 16
+	if o.Shards > 0 {
+		nShards = 1
+		for nShards < o.Shards {
+			nShards <<= 1
+		}
+	}
+	e := &Engine{
+		svc:       svc,
+		workers:   workers,
+		sem:       make(chan struct{}, workers),
+		shards:    make([]*cacheShard, nShards),
+		shardMask: uint32(nShards - 1),
+	}
+	for i := range e.shards {
+		e.shards[i] = &cacheShard{m: map[string]*entry{}}
+	}
+	if o.MaxEntries > 0 {
+		e.maxPerShard = (o.MaxEntries + nShards - 1) / nShards
+		if e.maxPerShard < 1 {
+			e.maxPerShard = 1
+		}
+	}
+	return e
+}
+
+// Workers returns the engine's evaluation parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load(), Evaluations: e.evals.Load()}
+}
+
+// ConfigKey is the canonical, order-insensitive cache key of a
+// configuration. Every field is length- or terminator-delimited so that
+// distinct definitions can never concatenate to the same key.
+func ConfigKey(config []*catalog.IndexDef) string {
+	parts := make([]string, len(config))
+	for i, d := range config {
+		parts[i] = fmt.Sprintf("%d:%s|%d:%s|%s|%s",
+			len(d.Name), d.Name, len(d.Collection), d.Collection, d.Pattern.String(), d.Type.Short())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x1e")
+}
+
+// queriesKey fingerprints the query list so one engine can serve several
+// workloads without cache cross-talk. The hashed serialization is
+// length-prefixed, hence injective up to hash collisions.
+func queriesKey(queries []*querylang.Query) string {
+	h := fnv.New64a()
+	for _, q := range queries {
+		fmt.Fprintf(h, "%d:%s|%d:%s|%d:%s;", len(q.Collection), q.Collection, len(q.ID), q.ID, len(q.Text), q.Text)
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+func (e *Engine) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return e.shards[h.Sum32()&e.shardMask]
+}
+
+// EvaluateQuery costs one query under the configuration, uncached.
+func (e *Engine) EvaluateQuery(ctx context.Context, q *querylang.Query, config []*catalog.IndexDef) (QueryEval, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return QueryEval{}, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	e.evals.Add(1)
+	return e.svc.EvaluateQuery(ctx, q, filterConfig(config, q.Collection))
+}
+
+// Bound is a what-if evaluation scope over a fixed query list: the
+// workload fingerprint is computed once, so per-configuration lookups
+// on the hot search path only canonicalize the configuration.
+type Bound struct {
+	eng     *Engine
+	queries []*querylang.Query
+	prefix  string
+}
+
+// Bind fixes the query list the engine evaluates configurations over.
+func (e *Engine) Bind(queries []*querylang.Query) *Bound {
+	return &Bound{eng: e, queries: queries, prefix: queriesKey(queries) + "\x1f"}
+}
+
+// EvaluateConfig costs every bound query under the configuration; see
+// Engine.EvaluateConfig.
+func (b *Bound) EvaluateConfig(ctx context.Context, config []*catalog.IndexDef) (*ConfigEval, error) {
+	return b.eng.evaluateConfigKey(ctx, b.prefix+ConfigKey(config), b.queries, config)
+}
+
+// EvaluateConfig costs every query under the configuration, memoized by
+// (query list, configuration). Concurrent calls with the same key share
+// one evaluation; distinct keys share the engine's worker pool. The
+// returned value is cached and must not be mutated.
+func (e *Engine) EvaluateConfig(ctx context.Context, queries []*querylang.Query, config []*catalog.IndexDef) (*ConfigEval, error) {
+	return e.Bind(queries).EvaluateConfig(ctx, config)
+}
+
+func (e *Engine) evaluateConfigKey(ctx context.Context, key string, queries []*querylang.Query, config []*catalog.IndexDef) (*ConfigEval, error) {
+	sh := e.shard(key)
+
+	for {
+		sh.mu.Lock()
+		if ent, ok := sh.m[key]; ok {
+			sh.mu.Unlock()
+			select {
+			case <-ent.ready:
+				if ent.err != nil {
+					// The owner may have failed on its *own* context,
+					// which says nothing about ours — retry with our
+					// live context (the dead entry is already
+					// evicted). Any other failure is the evaluation's
+					// own and is shared with every waiter; retrying
+					// would re-run a failing evaluation once per
+					// caller.
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					if errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded) {
+						continue
+					}
+					return nil, ent.err
+				}
+				// Count the hit only once a shared value actually
+				// arrived, so error churn does not inflate the rate.
+				e.hits.Add(1)
+				return ent.val, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		ent := &entry{ready: make(chan struct{})}
+		sh.insert(key, ent, e.maxPerShard)
+		sh.mu.Unlock()
+		e.misses.Add(1)
+
+		val, err := e.evaluate(ctx, queries, config)
+		if err != nil {
+			// Failed evaluations are not cached. Evict before waking
+			// waiters so their retry cannot rejoin this dead entry.
+			sh.mu.Lock()
+			if sh.m[key] == ent {
+				sh.remove(key)
+			}
+			sh.mu.Unlock()
+			ent.err = err
+			close(ent.ready)
+			return nil, err
+		}
+		ent.val = val
+		close(ent.ready)
+		return val, nil
+	}
+}
+
+// evaluate fans the per-query evaluations across the worker pool.
+func (e *Engine) evaluate(ctx context.Context, queries []*querylang.Query, config []*catalog.IndexDef) (*ConfigEval, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := &ConfigEval{Queries: make([]QueryEval, len(queries))}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q *querylang.Query) {
+			defer wg.Done()
+			select {
+			case e.sem <- struct{}{}:
+			case <-ctx.Done():
+				setErr(ctx.Err())
+				return
+			}
+			defer func() { <-e.sem }()
+			if err := ctx.Err(); err != nil {
+				setErr(err)
+				return
+			}
+			e.evals.Add(1)
+			ev, err := e.svc.EvaluateQuery(ctx, q, filterConfig(config, q.Collection))
+			if err != nil {
+				setErr(err)
+				return
+			}
+			out.Queries[i] = ev
+		}(i, q)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// filterConfig restricts the configuration to one collection's indexes
+// (an optimizer ignores the others anyway; this keeps matching cheap).
+func filterConfig(config []*catalog.IndexDef, coll string) []*catalog.IndexDef {
+	n := 0
+	for _, d := range config {
+		if d.Collection == coll {
+			n++
+		}
+	}
+	if n == len(config) {
+		return config
+	}
+	out := make([]*catalog.IndexDef, 0, n)
+	for _, d := range config {
+		if d.Collection == coll {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// insert adds the entry under key, evicting the oldest completed entry
+// when the shard is full. In-flight entries are never evicted (the cap
+// may be exceeded briefly while the oldest entries are still computing).
+func (s *cacheShard) insert(key string, ent *entry, max int) {
+	for max > 0 && len(s.m) >= max {
+		if !s.evictOldest() {
+			break // every live entry is still computing
+		}
+	}
+	s.m[key] = ent
+	s.order = append(s.order, orderEntry{key: key, ent: ent})
+	// Compact consumed head space occasionally so the queue's memory
+	// stays proportional to the live entry count.
+	if s.head > 32 && s.head > len(s.order)/2 {
+		s.order = append(s.order[:0:0], s.order[s.head:]...)
+		s.head = 0
+	}
+}
+
+// evictOldest drops the oldest live, completed entry and reports whether
+// one was dropped. Stale head slots are consumed as they are passed;
+// in-flight entries are never evicted, but entries behind an in-flight
+// head are still eligible, so an overshoot caused by a slow evaluation
+// at the head heals instead of persisting.
+func (s *cacheShard) evictOldest() bool {
+	for s.head < len(s.order) {
+		oe := s.order[s.head]
+		if cur, ok := s.m[oe.key]; !ok || cur != oe.ent {
+			s.head++ // stale: removed, flushed, or re-inserted
+			continue
+		}
+		break
+	}
+	for i := s.head; i < len(s.order); i++ {
+		oe := s.order[i]
+		if cur, ok := s.m[oe.key]; !ok || cur != oe.ent {
+			continue
+		}
+		select {
+		case <-oe.ent.ready:
+			delete(s.m, oe.key)
+			if i == s.head {
+				s.head++
+			}
+			return true
+		default:
+			// Still computing; try the next oldest live entry.
+		}
+	}
+	return false
+}
+
+// remove drops a key (failed evaluation); its queue slot goes stale and
+// is skipped when the head reaches it.
+func (s *cacheShard) remove(key string) {
+	delete(s.m, key)
+}
+
+// Flush drops every cached configuration evaluation (counters are
+// kept). Callers must flush after the underlying data or statistics
+// change: cached costs are keyed by query text and index definition
+// only, not by catalog version. In-flight evaluations are orphaned —
+// already-joined waiters still receive their result, but it is not
+// cached, and later requests re-evaluate against the new state.
+func (e *Engine) Flush() {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.m = map[string]*entry{}
+		sh.order = nil
+		sh.head = 0
+		sh.mu.Unlock()
+	}
+}
+
+// Len reports the number of cached configuration evaluations.
+func (e *Engine) Len() int {
+	n := 0
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,95 @@
+// Package whatif is the what-if cost-evaluation service: the boundary
+// between index-advisor search and the optimizer backend that prices
+// hypothetical index configurations (the Evaluate Indexes EXPLAIN mode,
+// paper §2.3).
+//
+// The package has two layers:
+//
+//   - CostService is the minimal pluggable interface: estimate one
+//     query's cost under one hypothetical configuration. The in-process
+//     implementation (OptimizerService) wraps internal/optimizer; a
+//     future backend (a real DB2 EXPLAIN connection, a learned cost
+//     model) only has to implement this interface.
+//   - Engine turns a CostService into something a search can hammer:
+//     per-configuration evaluations fan out across a bounded worker
+//     pool, results are memoized behind a sharded cache with
+//     singleflight-style deduplication, and hit/miss/evaluation
+//     counters are exposed for benchmarking.
+package whatif
+
+import (
+	"context"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/querylang"
+)
+
+// QueryEval is the outcome of costing one query under a hypothetical
+// index configuration.
+type QueryEval struct {
+	// CostNoIndexes is the document-scan cost (the "original cost").
+	CostNoIndexes float64
+	// Cost is the estimated cost under the configuration.
+	Cost float64
+	// UsedIndexes names the configuration indexes the plan chose,
+	// sorted.
+	UsedIndexes []string
+	// PlanDesc is a backend-specific plan rendering for display.
+	PlanDesc string
+}
+
+// Benefit is the non-negative cost reduction of the configuration.
+func (e QueryEval) Benefit() float64 {
+	if b := e.CostNoIndexes - e.Cost; b > 0 {
+		return b
+	}
+	return 0
+}
+
+// Explain renders the evaluation as the EVALUATE INDEXES screen (paper
+// Figure 3), delegating to the optimizer's shared renderer.
+func (e QueryEval) Explain(queryText string, config []*catalog.IndexDef) string {
+	return optimizer.RenderEvaluation(queryText, config, e.CostNoIndexes, e.Cost, e.Benefit(), e.PlanDesc)
+}
+
+// CostService estimates query costs under hypothetical index
+// configurations. Implementations must be safe for concurrent use: the
+// Engine calls EvaluateQuery from many goroutines.
+type CostService interface {
+	// EvaluateQuery estimates the cost of q under config. The config
+	// defs passed in are already restricted to q's collection.
+	EvaluateQuery(ctx context.Context, q *querylang.Query, config []*catalog.IndexDef) (QueryEval, error)
+}
+
+// OptimizerService implements CostService over the in-process cost-based
+// optimizer via its Evaluate Indexes EXPLAIN mode.
+type OptimizerService struct {
+	Opt *optimizer.Optimizer
+	// VirtualOnly hides the catalog's real indexes so the evaluation
+	// isolates the hypothetical configuration — the advisor's mode.
+	VirtualOnly bool
+}
+
+// NewOptimizerService returns the advisor-mode (virtual-only) optimizer
+// costing service.
+func NewOptimizerService(opt *optimizer.Optimizer) *OptimizerService {
+	return &OptimizerService{Opt: opt, VirtualOnly: true}
+}
+
+// EvaluateQuery implements CostService.
+func (s *OptimizerService) EvaluateQuery(ctx context.Context, q *querylang.Query, config []*catalog.IndexDef) (QueryEval, error) {
+	if err := ctx.Err(); err != nil {
+		return QueryEval{}, err
+	}
+	res, err := s.Opt.EvaluateIndexes(q, config, s.VirtualOnly)
+	if err != nil {
+		return QueryEval{}, err
+	}
+	return QueryEval{
+		CostNoIndexes: res.CostNoIndexes,
+		Cost:          res.Cost,
+		UsedIndexes:   res.UsedIndexes,
+		PlanDesc:      res.Plan.Describe(),
+	}, nil
+}

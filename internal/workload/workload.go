@@ -61,6 +61,16 @@ type Workload struct {
 	Updates []Update
 }
 
+// QueryList returns the workload's queries in entry order — the unit a
+// what-if evaluation costs a configuration over.
+func (w *Workload) QueryList() []*querylang.Query {
+	qs := make([]*querylang.Query, len(w.Queries))
+	for i, e := range w.Queries {
+		qs[i] = e.Query
+	}
+	return qs
+}
+
 // TotalQueryWeight sums the query weights.
 func (w *Workload) TotalQueryWeight() float64 {
 	var t float64
