@@ -113,6 +113,12 @@ func BenchmarkE12ParallelWhatIf(b *testing.B) {
 	runExperiment(b, experiments.E12ParallelWhatIf)
 }
 
+// BenchmarkE13RuleAblation regenerates the generalization-rule ablation
+// table (per-rule applied/pruned counters).
+func BenchmarkE13RuleAblation(b *testing.B) {
+	runExperiment(b, experiments.E13RuleAblation)
+}
+
 // BenchmarkAdvisorEndToEnd measures one full Recommend call on the
 // XMark workload (the advisor-runtime series).
 func BenchmarkAdvisorEndToEnd(b *testing.B) {

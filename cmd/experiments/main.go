@@ -52,6 +52,7 @@ func main() {
 		{"E10", experiments.E10InteractionAblation},
 		{"E11", experiments.E11AdvisorScalability},
 		{"E12", experiments.E12ParallelWhatIf},
+		{"E13", experiments.E13RuleAblation},
 	}
 	ran := 0
 	for _, e := range exps {

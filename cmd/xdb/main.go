@@ -21,6 +21,7 @@
 //	enumerate <query text>
 //	evaluate <pattern>:<type>[,<pattern>:<type>...] :: <query text>
 //	whatif <pattern>:<type>[,<pattern>:<type>...] :: <workload-file>
+//	candidates <workload-file> [rules]
 //	help | quit
 package main
 
@@ -35,7 +36,9 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/candidate"
 	"repro/internal/catalog"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/executor"
 	"repro/internal/optimizer"
@@ -121,7 +124,7 @@ func (s *shell) run(line string) error {
 	rest = strings.TrimSpace(rest)
 	switch cmd {
 	case "help":
-		fmt.Fprintln(s.out, "commands: gen, load, ls, stats, create, drop, query, explain, enumerate, evaluate, whatif, quit")
+		fmt.Fprintln(s.out, "commands: gen, load, ls, stats, create, drop, query, explain, enumerate, evaluate, whatif, candidates, quit")
 		return nil
 	case "gen":
 		// Mutating commands invalidate memoized what-if costs: the
@@ -155,6 +158,8 @@ func (s *shell) run(line string) error {
 		return s.cmdEvaluate(rest)
 	case "whatif":
 		return s.cmdWhatIf(rest)
+	case "candidates":
+		return s.cmdCandidates(rest)
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -456,5 +461,48 @@ func (s *shell) cmdWhatIf(rest string) error {
 	fmt.Fprintf(s.out, "weighted: no-index %.1f, with-config %.1f (benefit %.1f)\n", noIdx, withIdx, noIdx-withIdx)
 	fmt.Fprintf(s.out, "what-if engine: %d workers, %d evaluations, %d hits, %d misses\n",
 		s.what.Workers(), st.Evaluations, st.Hits, st.Misses)
+	return nil
+}
+
+// cmdCandidates parses "<workload-file> [rules]" and runs the candidate
+// pipeline (enumeration + generalization) over the current catalog,
+// dumping the pipeline stats and the containment DAG without running the
+// configuration search.
+func (s *shell) cmdCandidates(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("usage: candidates <workload-file> [rules]")
+	}
+	text, err := os.ReadFile(fields[0])
+	if err != nil {
+		return err
+	}
+	w, err := workload.Parse(filepath.Base(fields[0]), string(text))
+	if err != nil {
+		return err
+	}
+	if len(w.Queries) == 0 {
+		return fmt.Errorf("workload has no queries")
+	}
+	rules := candidate.DefaultRules()
+	if len(fields) == 2 {
+		if rules, err = candidate.ParseRules(fields[1]); err != nil {
+			return err
+		}
+	}
+	// Mirror the advisor's default thresholds so the dump shows the
+	// candidate space Recommend actually searches.
+	defaults := core.DefaultOptions()
+	pipe := candidate.New(s.cat, &candidate.OptimizerSource{Opt: s.opt}, candidate.Options{
+		Rules:          rules,
+		MinSharedSteps: defaults.MinSharedSteps,
+		MaxCandidates:  defaults.MaxCandidates,
+	})
+	set, err := pipe.Run(context.Background(), w)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(s.out, set.Stats.String())
+	fmt.Fprint(s.out, set.DAG.Render())
 	return nil
 }

@@ -6,6 +6,7 @@
 //	xia -gen xmark:500:1 -workload data/xmark.workload -budget-kb 256 -search topdown
 //	xia -load auction=data/auction -workload data/xmark.workload -dag -trace
 //	xia -gen xmark:500:1 -workload data/xmark.workload -parallel 8 -cache-size 4096 -timeout 30s
+//	xia -gen xmark:500:1 -workload data/xmark.workload -gen-parallel 8 -rules lub,leaf,axis
 //
 // The -materialize flag additionally builds the recommended indexes and
 // reruns the workload to report actual execution times (the demo's final
@@ -37,6 +38,8 @@ func main() {
 	budgetKB := flag.Int64("budget-kb", 0, "disk budget in KB (0 = unlimited)")
 	searchName := flag.String("search", "greedy", "search: greedy | topdown | greedy-basic")
 	noGen := flag.Bool("no-generalize", false, "disable candidate generalization")
+	rules := flag.String("rules", "", "generalization rules: comma-separated lub,wildcard,leaf,axis,universal | all | none (default: paper rules)")
+	genParallel := flag.Int("gen-parallel", 0, "concurrent candidate enumerations (0 = GOMAXPROCS)")
 	showDAG := flag.Bool("dag", false, "print the candidate DAG")
 	showTrace := flag.Bool("trace", false, "print the search trace")
 	materialize := flag.Bool("materialize", false, "build recommended indexes and report actual execution times")
@@ -65,6 +68,8 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.Generalize = !*noGen
+	opts.Rules = *rules
+	opts.GenParallelism = *genParallel
 	opts.Parallelism = *parallel
 	opts.CacheShards = *cacheShards
 	opts.CacheSize = *cacheSize
@@ -94,6 +99,7 @@ func main() {
 	// lacks.
 	fmt.Printf("what-if engine: %d workers, %d cache misses (%.0f%% hit rate)\n",
 		adv.CostEngine().Workers(), rec.Cache.Misses, 100*rec.Cache.HitRate())
+	fmt.Println(rec.Gen.String())
 	if *showDAG {
 		fmt.Println()
 		fmt.Print(rec.DAG.Render())

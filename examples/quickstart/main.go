@@ -45,6 +45,8 @@ func main() {
 	// 4. The recommendation: generalization should have produced
 	// /site/regions/*/item/quantity (and possibly /site/regions/*/item/*).
 	fmt.Print(rec.Report())
+	fmt.Println("\ncandidate pipeline:")
+	fmt.Println(rec.Gen.String())
 	fmt.Println("\ncandidate DAG:")
 	fmt.Print(rec.DAG.Render())
 }

@@ -1,0 +1,148 @@
+// Package candidate is the candidate-generation front end of the XML
+// Index Advisor: the first two stages of the paper's pipeline (Figure 1),
+// extracted behind a pluggable API so the configuration search in
+// internal/core only ever sees a finished candidate Set.
+//
+// The package has three layers:
+//
+//   - Source is the pluggable per-query enumerator of basic candidates
+//     (§2.1): OptimizerSource wraps the optimizer's Enumerate Indexes
+//     EXPLAIN mode, SyntacticSource is the loosely coupled baseline that
+//     scrapes paths from the query text, and StaticSource injects a
+//     user-supplied (seeded) candidate list.
+//   - Rule is one named §2.2 generalization rewrite (pairwise LUB,
+//     wildcard substitution, descendant-leaf relaxation, axis
+//     relaxation, universal roots). Rules are individually toggleable
+//     and keep applied/pruned counters.
+//   - Pipeline fans a Source across the workload's queries on a bounded
+//     worker pool, deduplicates by Candidate.Key, runs the rule engine
+//     to fixpoint under a candidate budget, prunes candidates that would
+//     index nothing, and assembles the containment DAG (Figure 4).
+//
+// The pipeline is deterministic: the same workload, source, and rules
+// produce the same Set at every parallelism level.
+package candidate
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+)
+
+// Candidate is one candidate index in the advisor's search space.
+type Candidate struct {
+	ID         int
+	Collection string
+	Pattern    pattern.Pattern
+	Type       sqltype.Type
+
+	// Basic marks candidates enumerated directly from a query by a
+	// Source; generalized candidates have Basic=false.
+	Basic bool
+	// Rule names the generalization rule that produced this candidate
+	// (empty for basic candidates).
+	Rule string
+	// FromQueries lists workload query indices that enumerated this
+	// candidate (basic candidates only).
+	FromQueries []int
+
+	// Def is the virtual index definition used in Evaluate Indexes
+	// calls; its EstPages is the candidate's size.
+	Def *catalog.IndexDef
+
+	// Parents are direct generalizations, Children direct
+	// specializations, in the candidate DAG.
+	Parents  []*Candidate
+	Children []*Candidate
+
+	// covers[b] is true when this candidate's index would serve basic
+	// candidate b (same type, containing pattern): the redundancy
+	// bitmap of the greedy heuristic.
+	covers Bitset
+}
+
+// Pages returns the candidate's estimated size in pages.
+func (c *Candidate) Pages() int64 { return c.Def.EstPages }
+
+// Key identifies the candidate by what it indexes.
+func (c *Candidate) Key() string {
+	return c.Collection + "|" + c.Pattern.String() + "|" + c.Type.Short()
+}
+
+// Covers is the candidate's redundancy bitmap over basic-candidate
+// indices: bit b is set when this candidate's index would serve basic
+// candidate b (same type, containing pattern). Callers must not mutate
+// the returned bitmap.
+func (c *Candidate) Covers() Bitset { return c.covers }
+
+// String renders the candidate compactly.
+func (c *Candidate) String() string {
+	kind := "gen"
+	if c.Basic {
+		kind = "basic"
+	}
+	return fmt.Sprintf("%s AS %s on %s (%s, ~%d pages)", c.Pattern, c.Type.Short(), c.Collection, kind, c.Pages())
+}
+
+// Set is the pipeline's output: the full candidate space the search
+// runs over.
+type Set struct {
+	// All is every candidate (basic and generalized), IDs dense from 0.
+	All []*Candidate
+	// Basics is the subset enumerated directly from queries, in
+	// Key order (the same order the covers bitmaps index).
+	Basics []*Candidate
+	// DAG is the containment DAG over All (paper Figure 4).
+	DAG *DAG
+	// Stats describes the pipeline run that produced the set.
+	Stats Stats
+}
+
+// Bitset is a simple fixed-capacity bitmap over basic-candidate indices.
+type Bitset []uint64
+
+// NewBitset returns a bitmap able to hold n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i/64] |= 1 << uint(i%64) }
+
+// Get reports bit i.
+func (b Bitset) Get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+// Or folds o into b.
+func (b Bitset) Or(o Bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// Subset reports whether every bit of b is set in o.
+func (b Bitset) Subset(o Bitset) bool {
+	for i := range b {
+		if b[i]&^o[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of b.
+func (b Bitset) Clone() Bitset {
+	out := make(Bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}

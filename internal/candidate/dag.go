@@ -1,0 +1,107 @@
+package candidate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pattern"
+)
+
+// DAG is the candidate generalization DAG (paper §2.2, Figure 4): nodes
+// are candidate indexes; an edge runs from a generalization (parent) to
+// each of its most specific covered candidates (children). Roots are the
+// most general candidates obtainable from the workload.
+type DAG struct {
+	Nodes []*Candidate
+	Roots []*Candidate
+}
+
+// buildDAG wires parent/child edges by pattern containment with
+// transitive reduction, per (collection, type) stratum.
+func buildDAG(all []*Candidate) *DAG {
+	n := len(all)
+	// contains[i][j]: candidate i's pattern properly contains j's.
+	contains := make([][]bool, n)
+	for i := range contains {
+		contains[i] = make([]bool, n)
+	}
+	for i, p := range all {
+		for j, q := range all {
+			if i == j || p.Collection != q.Collection || p.Type != q.Type {
+				continue
+			}
+			if pattern.ContainsCached(p.Pattern, q.Pattern) && !pattern.ContainsCached(q.Pattern, p.Pattern) {
+				contains[i][j] = true
+			}
+		}
+	}
+	// Transitive reduction: edge i->j survives iff no k with i⊃k⊃j.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !contains[i][j] {
+				continue
+			}
+			direct := true
+			for k := 0; k < n && direct; k++ {
+				if k != i && k != j && contains[i][k] && contains[k][j] {
+					direct = false
+				}
+			}
+			if direct {
+				all[i].Children = append(all[i].Children, all[j])
+				all[j].Parents = append(all[j].Parents, all[i])
+			}
+		}
+	}
+	dag := &DAG{Nodes: all}
+	for _, c := range all {
+		sortByKey(c.Children)
+		sortByKey(c.Parents)
+		if len(c.Parents) == 0 {
+			dag.Roots = append(dag.Roots, c)
+		}
+	}
+	sortByKey(dag.Roots)
+	return dag
+}
+
+// sortByKey orders candidates by what they index, independent of ID
+// assignment, so every DAG rendering and traversal is stable across
+// runs and rule configurations.
+func sortByKey(cs []*Candidate) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Key() < cs[j].Key() })
+}
+
+// Edges returns the number of DAG edges.
+func (d *DAG) Edges() int {
+	n := 0
+	for _, c := range d.Nodes {
+		n += len(c.Children)
+	}
+	return n
+}
+
+// Render draws the DAG as indented text, roots first (the content of the
+// paper's Figure 4 visualization). Roots and children are walked in Key
+// order, so the output is deterministic for a given candidate set.
+func (d *DAG) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "candidate DAG: %d nodes, %d edges, %d roots\n", len(d.Nodes), d.Edges(), len(d.Roots))
+	seen := map[int]bool{}
+	var walk func(c *Candidate, depth int)
+	walk = func(c *Candidate, depth int) {
+		fmt.Fprintf(&sb, "%s%s\n", strings.Repeat("  ", depth+1), c)
+		if seen[c.ID] {
+			return
+		}
+		seen[c.ID] = true
+		for _, ch := range c.Children {
+			walk(ch, depth+1)
+		}
+	}
+	for _, r := range d.Roots {
+		walk(r, 0)
+	}
+	return sb.String()
+}

@@ -1,0 +1,355 @@
+package candidate
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/pattern"
+	"repro/internal/workload"
+)
+
+// Options configure a Pipeline.
+type Options struct {
+	// Parallelism bounds concurrent Source.Enumerate calls (one query
+	// per call); 0 means GOMAXPROCS. The output Set is identical at
+	// every parallelism level.
+	Parallelism int
+	// Rules is the generalization rule set, applied in order; nil or
+	// empty disables generalization (§2.2 off).
+	Rules []Rule
+	// MinSharedSteps is the minimum number of shared concrete steps two
+	// patterns need before pairwise generalization applies.
+	MinSharedSteps int
+	// MaxCandidates is the candidate budget: generalization stops once
+	// the full set (basic + generalized) reaches it; 0 means 400.
+	MaxCandidates int
+}
+
+// RuleStats are one rule's counters for a pipeline run.
+type RuleStats struct {
+	// Name is the rule's identifier.
+	Name string
+	// Applied counts candidates the rule added to the set.
+	Applied int
+	// Pruned counts the rule's proposals that were rejected: duplicates
+	// of existing candidates, over the candidate budget, or patterns
+	// that would index no data.
+	Pruned int
+}
+
+// Stats describe one pipeline run.
+type Stats struct {
+	// Source names the candidate source.
+	Source string
+	// Enumerated counts raw source proposals across all queries, before
+	// deduplication.
+	Enumerated int
+	// Basic is the deduplicated basic candidate count.
+	Basic int
+	// Generalized counts candidates added by the rules (after pruning).
+	Generalized int
+	// Deduped counts duplicate basic proposals merged away.
+	Deduped int
+	// Pruned counts rejected rule proposals (duplicates, budget,
+	// no-data), summed over Rules.
+	Pruned int
+	// Rules holds the per-rule counters, in application order.
+	Rules []RuleStats
+	// Wall is the pipeline wall-clock time.
+	Wall time.Duration
+}
+
+// String renders the stats as one line plus one line per rule.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pipeline[%s]: %d enumerated, %d basic (%d deduped), %d generalized, %d pruned, %v",
+		s.Source, s.Enumerated, s.Basic, s.Deduped, s.Generalized, s.Pruned, s.Wall.Round(time.Millisecond))
+	for _, r := range s.Rules {
+		fmt.Fprintf(&sb, "\n  rule %-9s applied %4d  pruned %4d", r.Name, r.Applied, r.Pruned)
+	}
+	return sb.String()
+}
+
+// Pipeline is the candidate front end: it fans a Source across the
+// workload's queries on a bounded worker pool, deduplicates, runs the
+// generalization rules under the candidate budget, and assembles the
+// containment DAG. A Pipeline is immutable and safe for concurrent use.
+type Pipeline struct {
+	cat  *catalog.Catalog
+	src  Source
+	opts Options
+}
+
+// New builds a pipeline over the catalog with the given source.
+func New(cat *catalog.Catalog, src Source, opts Options) *Pipeline {
+	if opts.MaxCandidates <= 0 {
+		opts.MaxCandidates = 400
+	}
+	if opts.MinSharedSteps < 0 {
+		opts.MinSharedSteps = 0
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Pipeline{cat: cat, src: src, opts: opts}
+}
+
+// Run produces the candidate Set for the workload. The result is
+// deterministic: parallelism only changes enumeration wall-clock.
+func (p *Pipeline) Run(ctx context.Context, w *workload.Workload) (*Set, error) {
+	start := time.Now()
+	st := Stats{Source: p.src.Name()}
+
+	perQuery, err := p.enumerate(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	basics, err := p.merge(w, perQuery, &st)
+	if err != nil {
+		return nil, err
+	}
+	st.Basic = len(basics)
+
+	all, err := p.generalize(basics, &st)
+	if err != nil {
+		return nil, err
+	}
+	st.Generalized = len(all) - len(basics)
+	for _, r := range st.Rules {
+		st.Pruned += r.Pruned
+	}
+
+	buildCovers(all, basics)
+	set := &Set{All: all, Basics: basics, DAG: buildDAG(all)}
+	st.Wall = time.Since(start)
+	set.Stats = st
+	return set, nil
+}
+
+// enumerate fans Source.Enumerate across the workload queries on the
+// worker pool, returning per-query proposals in query order.
+func (p *Pipeline) enumerate(ctx context.Context, w *workload.Workload) ([][]Raw, error) {
+	out := make([][]Raw, len(w.Queries))
+	sem := make(chan struct{}, p.opts.Parallelism)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+submit:
+	for qi, e := range w.Queries {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break submit
+		}
+		wg.Add(1)
+		go func(qi int, e workload.Entry) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
+			raws, err := p.src.Enumerate(e.Query)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				cancel()
+				return
+			}
+			out[qi] = raws
+		}(qi, e)
+	}
+	wg.Wait()
+	// A worker's own error outranks the cancellation it triggered, so
+	// the caller sees the enumeration failure, not "context canceled".
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// merge deduplicates the per-query proposals into the basic candidate
+// set in one pass over a key map, tags each candidate with the queries
+// that produced it, and assigns IDs in Key order.
+func (p *Pipeline) merge(w *workload.Workload, perQuery [][]Raw, st *Stats) ([]*Candidate, error) {
+	byKey := map[string]*Candidate{}
+	var out []*Candidate
+	for qi, raws := range perQuery {
+		coll := w.Queries[qi].Query.Collection
+		st.Enumerated += len(raws)
+		for _, r := range raws {
+			key := coll + "|" + r.Key()
+			c := byKey[key]
+			if c == nil {
+				cstats, err := p.cat.Stats(coll)
+				if err != nil {
+					return nil, err
+				}
+				c = &Candidate{
+					Collection: coll,
+					Pattern:    r.Pattern,
+					Type:       r.Type,
+					Basic:      true,
+				}
+				c.Def = catalog.VirtualDef(fmt.Sprintf("XIA_B%d", len(out)+1), coll, r.Pattern, r.Type, cstats)
+				byKey[key] = c
+				out = append(out, c)
+			} else {
+				st.Deduped++
+			}
+			if len(c.FromQueries) == 0 || c.FromQueries[len(c.FromQueries)-1] != qi {
+				c.FromQueries = append(c.FromQueries, qi)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	for i, c := range out {
+		c.ID = i
+	}
+	return out, nil
+}
+
+// generalize runs the rule engine: fixpoint rules iterate a frontier of
+// newly added candidates until quiescence; the remaining rules apply
+// once to the basics. Every proposal is deduplicated against the set
+// and the candidate budget; accepted candidates that would index no
+// data are pruned afterwards.
+func (p *Pipeline) generalize(basics []*Candidate, st *Stats) ([]*Candidate, error) {
+	all := append([]*Candidate(nil), basics...)
+	byKey := make(map[string]*Candidate, len(all))
+	for _, c := range all {
+		byKey[c.Key()] = c
+	}
+	counters := make([]*RuleStats, len(p.opts.Rules))
+	for i, r := range p.opts.Rules {
+		counters[i] = &RuleStats{Name: r.Name()}
+	}
+
+	ctx := &RuleContext{MinSharedSteps: p.opts.MinSharedSteps}
+	// accept adds one proposal for rule ri, returning the new candidate
+	// or nil when the proposal was rejected (duplicate or over budget).
+	accept := func(ri int, c *Candidate, pat pattern.Pattern) (*Candidate, error) {
+		if len(all) >= p.opts.MaxCandidates {
+			counters[ri].Pruned++
+			return nil, nil
+		}
+		key := c.Collection + "|" + pat.String() + "|" + c.Type.Short()
+		if byKey[key] != nil {
+			counters[ri].Pruned++
+			return nil, nil
+		}
+		cstats, err := p.cat.Stats(c.Collection)
+		if err != nil {
+			return nil, err
+		}
+		nc := &Candidate{
+			ID:         len(all),
+			Collection: c.Collection,
+			Pattern:    pat,
+			Type:       c.Type,
+			Rule:       p.opts.Rules[ri].Name(),
+		}
+		nc.Def = catalog.VirtualDef(fmt.Sprintf("XIA_G%d", len(all)+1), nc.Collection, pat, nc.Type, cstats)
+		byKey[key] = nc
+		all = append(all, nc)
+		counters[ri].Applied++
+		return nc, nil
+	}
+
+	for ri, rule := range p.opts.Rules {
+		if !rule.Fixpoint() {
+			continue
+		}
+		frontier := append([]*Candidate(nil), basics...)
+		for len(frontier) > 0 && len(all) < p.opts.MaxCandidates {
+			var next []*Candidate
+			for _, c := range frontier {
+				ctx.All = all
+				for _, pat := range rule.Apply(c, ctx) {
+					nc, err := accept(ri, c, pat)
+					if err != nil {
+						return nil, err
+					}
+					if nc != nil {
+						next = append(next, nc)
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+	for ri, rule := range p.opts.Rules {
+		if rule.Fixpoint() {
+			continue
+		}
+		for _, c := range basics {
+			if len(all) >= p.opts.MaxCandidates {
+				break
+			}
+			ctx.All = all
+			for _, pat := range rule.Apply(c, ctx) {
+				if _, err := accept(ri, c, pat); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Budget-aware prune: drop generalized candidates that would index
+	// nothing — an empty index can never benefit a query, and its pages
+	// would still count against the search's disk budget.
+	byRule := map[string]*RuleStats{}
+	for _, rs := range counters {
+		byRule[rs.Name] = rs
+	}
+	kept := all[:0:0]
+	for _, c := range all {
+		if c.Basic || c.Def.EstEntries > 0 {
+			kept = append(kept, c)
+			continue
+		}
+		if rs := byRule[c.Rule]; rs != nil {
+			rs.Applied--
+			rs.Pruned++
+		}
+	}
+	all = kept
+	for i, c := range all {
+		c.ID = i
+	}
+	for _, rs := range counters {
+		st.Rules = append(st.Rules, *rs)
+	}
+	return all, nil
+}
+
+// buildCovers fills each candidate's redundancy bitmap over the basic
+// candidates (same collection and type, containing pattern).
+func buildCovers(all, basics []*Candidate) {
+	for _, c := range all {
+		c.covers = NewBitset(len(basics))
+		for i, b := range basics {
+			if b.Collection != c.Collection || b.Type != c.Type {
+				continue
+			}
+			if pattern.ContainsCached(c.Pattern, b.Pattern) {
+				c.covers.Set(i)
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package candidate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pattern"
+)
+
+// RuleContext is what a Rule sees when applied to one candidate: the
+// live candidate set (for pairwise rules) and the engine thresholds.
+type RuleContext struct {
+	// All is the current candidate set, in ID order. It grows as the
+	// engine accepts proposals; a Rule must treat it as read-only.
+	All []*Candidate
+	// MinSharedSteps is the minimum number of shared concrete steps two
+	// patterns need before pairwise generalization applies.
+	MinSharedSteps int
+}
+
+// Rule is one named generalization rewrite of §2.2. Apply proposes
+// generalizations of c; the engine deduplicates, enforces the candidate
+// budget, and tracks per-rule applied/pruned counters. Rules must be
+// stateless: the same Rule value is reused across pipeline runs.
+type Rule interface {
+	// Name is the rule's stable identifier (the -rules flag vocabulary).
+	Name() string
+	// Fixpoint reports whether the engine re-applies the rule to the
+	// candidates it produced (frontier iteration until no new candidate
+	// appears) instead of applying it once to the basic candidates.
+	Fixpoint() bool
+	// Apply returns the patterns c generalizes to under this rule, in
+	// deterministic order. Collection and SQL type are inherited from c.
+	Apply(c *Candidate, ctx *RuleContext) []pattern.Pattern
+}
+
+// lubRule is the paper's pairwise least-upper-bound rule: candidates of
+// identical shape that differ in one or more step names generalize to
+// the pattern with * at the differing steps — /regions/namerica/item/
+// quantity + /regions/africa/item/quantity => /regions/*/item/quantity.
+// It runs to fixpoint, so LUBs of LUBs appear too (/regions/*/item/*).
+type lubRule struct{}
+
+func (lubRule) Name() string   { return "lub" }
+func (lubRule) Fixpoint() bool { return true }
+
+func (lubRule) Apply(c *Candidate, ctx *RuleContext) []pattern.Pattern {
+	var out []pattern.Pattern
+	for _, d := range ctx.All {
+		if c == d || c.Collection != d.Collection || c.Type != d.Type {
+			continue
+		}
+		if pattern.SharedConcreteSteps(c.Pattern, d.Pattern) < ctx.MinSharedSteps {
+			continue
+		}
+		if lub, ok := pattern.PairwiseLUB(c.Pattern, d.Pattern); ok {
+			out = append(out, lub)
+		}
+	}
+	return out
+}
+
+// wildcardRule substitutes a wildcard for one step name at a time
+// (/a/b/c -> /*/b/c, /a/*/c, /a/b/*), the single-step form of §2.2's
+// wildcard substitution. Unlike lub it needs no partner pattern, so it
+// also generalizes candidates that share a shape with nothing else. It
+// applies to basics only: running it to fixpoint would enumerate the
+// full wildcard lattice of every pattern.
+type wildcardRule struct{}
+
+func (wildcardRule) Name() string   { return "wildcard" }
+func (wildcardRule) Fixpoint() bool { return false }
+
+func (wildcardRule) Apply(c *Candidate, _ *RuleContext) []pattern.Pattern {
+	var out []pattern.Pattern
+	for i := 0; i < c.Pattern.Len(); i++ {
+		if g, ok := pattern.WildcardAt(c.Pattern, i); ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// leafRule is the descendant-leaf relaxation: every candidate
+// generalizes to //leaf (/site/regions/namerica/item -> //item), the
+// most label-preserving pattern near the DAG roots.
+type leafRule struct{}
+
+func (leafRule) Name() string   { return "leaf" }
+func (leafRule) Fixpoint() bool { return false }
+
+func (leafRule) Apply(c *Candidate, _ *RuleContext) []pattern.Pattern {
+	if g, ok := pattern.DescendantLeaf(c.Pattern); ok {
+		return []pattern.Pattern{g}
+	}
+	return nil
+}
+
+// axisRule relaxes each child step to a descendant step (/a/b -> /a//b),
+// useful when future workloads move subtrees.
+type axisRule struct{}
+
+func (axisRule) Name() string   { return "axis" }
+func (axisRule) Fixpoint() bool { return false }
+
+func (axisRule) Apply(c *Candidate, _ *RuleContext) []pattern.Pattern {
+	var out []pattern.Pattern
+	for i := 0; i < c.Pattern.Len(); i++ {
+		if g, ok := pattern.RelaxAxisAt(c.Pattern, i); ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// universalRule adds the universal patterns (//* and //@*) for each
+// referenced (collection, type) — the most general indexes possible,
+// giving top-down search the full root-to-leaf range. Only the first
+// basic candidate of each (collection, type) proposes, so repeat
+// proposals do not pollute the rule's pruned counter.
+type universalRule struct{}
+
+func (universalRule) Name() string   { return "universal" }
+func (universalRule) Fixpoint() bool { return false }
+
+func (universalRule) Apply(c *Candidate, ctx *RuleContext) []pattern.Pattern {
+	for _, d := range ctx.All {
+		if d.Basic && d.Collection == c.Collection && d.Type == c.Type {
+			if d != c {
+				return nil
+			}
+			break
+		}
+	}
+	return []pattern.Pattern{
+		pattern.UniversalFor(pattern.TestElem),
+		pattern.UniversalFor(pattern.TestAttr),
+	}
+}
+
+// DefaultRules is the paper's §2.2 rule set: pairwise LUB to fixpoint
+// plus the descendant-leaf relaxation.
+func DefaultRules() []Rule { return []Rule{lubRule{}, leafRule{}} }
+
+// AllRules is every known rule, in engine application order.
+func AllRules() []Rule {
+	return []Rule{lubRule{}, wildcardRule{}, leafRule{}, axisRule{}, universalRule{}}
+}
+
+// RuleByName resolves one rule name.
+func RuleByName(name string) (Rule, error) {
+	for _, r := range AllRules() {
+		if r.Name() == name {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("candidate: unknown rule %q", name)
+}
+
+// ParseRules parses a comma-separated rule list ("lub,leaf,axis").
+// The empty string and "none" mean no rules; "all" means AllRules. The
+// returned rules are reordered to the engine's canonical application
+// order, so the resulting candidate set is independent of spelling.
+func ParseRules(spec string) ([]Rule, error) {
+	spec = strings.TrimSpace(spec)
+	switch spec {
+	case "", "none":
+		return nil, nil
+	case "all":
+		return AllRules(), nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := RuleByName(name); err != nil {
+			return nil, err
+		}
+		want[name] = true
+	}
+	var out []Rule
+	for _, r := range AllRules() {
+		if want[r.Name()] {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// RuleNames renders a rule list as its comma-separated names.
+func RuleNames(rules []Rule) string {
+	names := make([]string, len(rules))
+	for i, r := range rules {
+		names[i] = r.Name()
+	}
+	return strings.Join(names, ",")
+}

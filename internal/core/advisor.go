@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/candidate"
 	"repro/internal/catalog"
 	"repro/internal/optimizer"
 	"repro/internal/whatif"
@@ -35,6 +36,17 @@ type Options struct {
 	// Enumeration selects optimizer-coupled or syntactic candidate
 	// enumeration (the coupling ablation).
 	Enumeration EnumerationMode
+	// Source, when non-nil, overrides Enumeration with a custom
+	// candidate source (a user-supplied or seeded enumerator).
+	Source candidate.Source
+	// Rules, when non-empty, is the comma-separated generalization rule
+	// list ("lub,leaf,axis", "all", "none") and replaces the default
+	// rule set; Generalize=false still disables all rules.
+	Rules string
+	// GenParallelism bounds concurrent per-query candidate enumerations
+	// in the pipeline; 0 means GOMAXPROCS. The candidate set is
+	// identical at every parallelism level.
+	GenParallelism int
 	// IncludeUniversal adds the universal patterns (//* and //@*) as DAG
 	// roots, the most general indexes possible. They are usually far too
 	// large to recommend, but give top-down search the full root-to-leaf
@@ -205,6 +217,10 @@ type Recommendation struct {
 	// Basics and DAG expose the candidate space (Figure 4).
 	Basics []*Candidate
 	DAG    *DAG
+	// Gen holds the candidate pipeline's stats for this run:
+	// enumerated/generalized/deduped/pruned counts, per-rule counters,
+	// and the pipeline wall time.
+	Gen candidate.Stats
 	// Trace records the search steps.
 	Trace []string
 	// Evaluations counts per-query what-if evaluations issued during
@@ -239,14 +255,15 @@ func (a *Advisor) RecommendContext(ctx context.Context, w *workload.Workload) (*
 		return nil, err
 	}
 
-	basics, err := a.enumerateBasic(w)
+	pipe, err := a.pipeline()
 	if err != nil {
 		return nil, err
 	}
-	all, dag, err := a.generalize(basics)
+	set, err := pipe.Run(ctx, w)
 	if err != nil {
 		return nil, err
 	}
+	basics, all, dag := set.Basics, set.All, set.DAG
 	ev, err := a.newEvaluator(ctx, w)
 	if err != nil {
 		return nil, err
@@ -269,6 +286,7 @@ func (a *Advisor) RecommendContext(ctx context.Context, w *workload.Workload) (*
 		Config: sr.config,
 		Basics: basics,
 		DAG:    dag,
+		Gen:    set.Stats,
 		Trace:  sr.trace,
 	}
 	sort.Slice(rec.Config, func(i, j int) bool { return rec.Config[i].Key() < rec.Config[j].Key() })

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/candidate"
 	"repro/internal/catalog"
 	"repro/internal/datagen"
 	"repro/internal/executor"
@@ -329,6 +330,60 @@ func TestAdvisorRefreshesCostsAfterDataChange(t *testing.T) {
 	if rec2.PerQuery[0].CostNoIndexes <= rec1.PerQuery[0].CostNoIndexes {
 		t.Errorf("stale costs after data change: %f -> %f",
 			rec1.PerQuery[0].CostNoIndexes, rec2.PerQuery[0].CostNoIndexes)
+	}
+}
+
+func TestRecommendationIdenticalAcrossGenParallelism(t *testing.T) {
+	cat := xmarkFixture(t, 200)
+	w := datagen.XMarkWorkload(10, 12)
+	fingerprint := func(rec *Recommendation) string {
+		return strings.Join(rec.DDL, "\n") + "\n" + rec.DAG.Render() + strings.Join(rec.Trace, "\n")
+	}
+	var base string
+	for _, par := range []int{1, 4, 8} {
+		opts := DefaultOptions()
+		opts.GenParallelism = par
+		rec, err := New(cat, opts).Recommend(w)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		fp := fingerprint(rec)
+		if base == "" {
+			base = fp
+		} else if fp != base {
+			t.Errorf("recommendation changed at enumeration parallelism %d:\n%s\nvs\n%s", par, base, fp)
+		}
+	}
+}
+
+func TestCustomSourceOverridesEnumeration(t *testing.T) {
+	cat := xmarkFixture(t, 150)
+	opts := DefaultOptions()
+	opts.Source = candidate.SyntacticSource{}
+	a := New(cat, opts)
+	rec, err := a.Recommend(datagen.XMarkPaperWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Gen.Source != "syntactic" {
+		t.Errorf("pipeline used source %q, want the injected syntactic source", rec.Gen.Source)
+	}
+}
+
+func TestRulesSpecSelectsRules(t *testing.T) {
+	cat := xmarkFixture(t, 150)
+	opts := DefaultOptions()
+	opts.Rules = "lub"
+	rec, err := New(cat, opts).Recommend(datagen.XMarkPaperWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Gen.Rules) != 1 || rec.Gen.Rules[0].Name != "lub" {
+		t.Errorf("rules = %+v, want lub only", rec.Gen.Rules)
+	}
+	opts.Rules = "bogus"
+	if _, err := New(cat, opts).Recommend(datagen.XMarkPaperWorkload()); err == nil {
+		t.Error("bogus rule spec should fail")
 	}
 }
 

@@ -3,117 +3,31 @@
 // updates, it recommends the set of XML value indexes (patterns + SQL
 // types) with the greatest estimated benefit that fits a disk budget.
 //
-// The pipeline follows Figure 1 of the paper:
+// The pipeline follows Figure 1 of the paper, with each stage behind its
+// own package boundary:
 //
-//  1. For every workload query, the optimizer's Enumerate Indexes EXPLAIN
-//     mode produces the basic candidate patterns (§2.1).
-//  2. Generalization rules expand the candidates with patterns that can
-//     benefit several queries — and unseen future queries — arranged in a
-//     containment DAG (§2.2).
-//  3. A search over index configurations — greedy with redundancy
-//     heuristics, or top-down over the DAG — picks the recommended
-//     configuration under the disk budget, using the Evaluate Indexes
-//     EXPLAIN mode for configuration benefits and accounting for index
-//     interaction and update (maintenance) cost (§2.3).
+//  1. internal/candidate enumerates the basic candidate patterns for
+//     every workload query (§2.1, the Enumerate Indexes EXPLAIN mode via
+//     candidate.Source), generalizes them with the §2.2 rule engine, and
+//     arranges the result in a containment DAG.
+//  2. This package searches the candidate space for the recommended
+//     configuration under the disk budget — greedy with redundancy
+//     heuristics, or top-down over the DAG (§2.3).
+//  3. internal/whatif prices every configuration the search considers
+//     via the Evaluate Indexes EXPLAIN mode, accounting for index
+//     interaction; update (maintenance) cost is charged here.
 package core
 
 import (
-	"fmt"
-	"sort"
-
-	"repro/internal/catalog"
-	"repro/internal/optimizer"
-	"repro/internal/pattern"
-	"repro/internal/querylang"
-	"repro/internal/sqltype"
-	"repro/internal/workload"
+	"repro/internal/candidate"
 )
 
-// Candidate is one candidate index in the advisor's search space.
-type Candidate struct {
-	ID         int
-	Collection string
-	Pattern    pattern.Pattern
-	Type       sqltype.Type
+// Candidate is one candidate index in the advisor's search space,
+// produced by the internal/candidate pipeline.
+type Candidate = candidate.Candidate
 
-	// Basic marks candidates enumerated directly from a query by the
-	// optimizer; generalized candidates have Basic=false.
-	Basic bool
-	// FromQueries lists workload query indices that enumerated this
-	// candidate (basic candidates only).
-	FromQueries []int
-
-	// Def is the virtual index definition used in Evaluate Indexes
-	// calls; its EstPages is the candidate's size.
-	Def *catalog.IndexDef
-
-	// Parents are direct generalizations, Children direct
-	// specializations, in the candidate DAG.
-	Parents  []*Candidate
-	Children []*Candidate
-
-	// covers[b] is true when this candidate's index would serve basic
-	// candidate b (same type, containing pattern): the redundancy
-	// bitmap of the greedy heuristic.
-	covers bitset
-}
-
-// Pages returns the candidate's estimated size in pages.
-func (c *Candidate) Pages() int64 { return c.Def.EstPages }
-
-// Key identifies the candidate by what it indexes.
-func (c *Candidate) Key() string {
-	return c.Collection + "|" + c.Pattern.String() + "|" + c.Type.Short()
-}
-
-// String renders the candidate compactly.
-func (c *Candidate) String() string {
-	kind := "gen"
-	if c.Basic {
-		kind = "basic"
-	}
-	return fmt.Sprintf("%s AS %s on %s (%s, ~%d pages)", c.Pattern, c.Type.Short(), c.Collection, kind, c.Pages())
-}
-
-// bitset is a simple fixed-capacity bitmap over basic-candidate indices.
-type bitset []uint64
-
-func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
-
-func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
-func (b bitset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
-
-func (b bitset) or(o bitset) {
-	for i := range b {
-		b[i] |= o[i]
-	}
-}
-
-// subset reports whether every bit of b is set in o.
-func (b bitset) subset(o bitset) bool {
-	for i := range b {
-		if b[i]&^o[i] != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-func (b bitset) clone() bitset {
-	out := make(bitset, len(b))
-	copy(out, b)
-	return out
-}
-
-func (b bitset) count() int {
-	n := 0
-	for _, w := range b {
-		for ; w != 0; w &= w - 1 {
-			n++
-		}
-	}
-	return n
-}
+// DAG is the candidate generalization DAG (paper §2.2, Figure 4).
+type DAG = candidate.DAG
 
 // EnumerationMode selects how basic candidates are obtained.
 type EnumerationMode uint8
@@ -129,65 +43,54 @@ const (
 	EnumSyntactic
 )
 
-// enumerateBasic produces the deduplicated basic candidate set for the
-// workload, tagging each candidate with the queries that produced it.
-func (a *Advisor) enumerateBasic(w *workload.Workload) ([]*Candidate, error) {
-	byKey := map[string]*Candidate{}
-	var out []*Candidate
-	for qi, e := range w.Queries {
-		var cands []optimizer.Candidate
-		var err error
-		switch a.opts.Enumeration {
-		case EnumSyntactic:
-			cands = syntacticCandidates(e.Query)
-		default:
-			cands, err = a.opt.EnumerateIndexes(e.Query)
-			if err != nil {
-				return nil, err
-			}
-		}
-		for _, oc := range cands {
-			key := e.Query.Collection + "|" + oc.Key()
-			c := byKey[key]
-			if c == nil {
-				st, err := a.cat.Stats(e.Query.Collection)
-				if err != nil {
-					return nil, err
-				}
-				c = &Candidate{
-					Collection: e.Query.Collection,
-					Pattern:    oc.Pattern,
-					Type:       oc.Type,
-					Basic:      true,
-				}
-				c.Def = catalog.VirtualDef(fmt.Sprintf("XIA_B%d", len(out)+1), c.Collection, c.Pattern, c.Type, st)
-				byKey[key] = c
-				out = append(out, c)
-			}
-			if len(c.FromQueries) == 0 || c.FromQueries[len(c.FromQueries)-1] != qi {
-				c.FromQueries = append(c.FromQueries, qi)
-			}
-		}
+// candidateSource resolves the advisor's candidate source: an explicit
+// Options.Source wins, then the Enumeration mode picks the optimizer or
+// syntactic enumerator.
+func (a *Advisor) candidateSource() candidate.Source {
+	if a.opts.Source != nil {
+		return a.opts.Source
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
-	for i, c := range out {
-		c.ID = i
+	if a.opts.Enumeration == EnumSyntactic {
+		return candidate.SyntacticSource{}
 	}
-	return out, nil
+	return &candidate.OptimizerSource{Opt: a.opt}
 }
 
-// syntacticCandidates is the loosely coupled enumeration baseline: it
-// scrapes every leg from the parsed query — including output legs — and
-// types everything VARCHAR, because without the optimizer there is no
-// index-matching or type inference to consult.
-func syntacticCandidates(q *querylang.Query) []optimizer.Candidate {
-	var out []optimizer.Candidate
-	for _, leg := range q.Legs() {
-		out = append(out, optimizer.Candidate{
-			Pattern: leg.Pattern,
-			Type:    sqltype.Varchar,
-			Leg:     leg,
-		})
+// candidateRules resolves the generalization rule set: Generalize=false
+// disables all rules; an explicit Options.Rules spec is parsed as-is;
+// otherwise the paper's default rules apply, extended by the RelaxAxes
+// and IncludeUniversal toggles.
+func (a *Advisor) candidateRules() ([]candidate.Rule, error) {
+	if !a.opts.Generalize {
+		return nil, nil
 	}
-	return out
+	if a.opts.Rules != "" {
+		return candidate.ParseRules(a.opts.Rules)
+	}
+	rules := candidate.DefaultRules()
+	if a.opts.RelaxAxes {
+		if r, err := candidate.RuleByName("axis"); err == nil {
+			rules = append(rules, r)
+		}
+	}
+	if a.opts.IncludeUniversal {
+		if r, err := candidate.RuleByName("universal"); err == nil {
+			rules = append(rules, r)
+		}
+	}
+	return rules, nil
+}
+
+// pipeline assembles the candidate pipeline for one Recommend run.
+func (a *Advisor) pipeline() (*candidate.Pipeline, error) {
+	rules, err := a.candidateRules()
+	if err != nil {
+		return nil, err
+	}
+	return candidate.New(a.cat, a.candidateSource(), candidate.Options{
+		Parallelism:    a.opts.GenParallelism,
+		Rules:          rules,
+		MinSharedSteps: a.opts.MinSharedSteps,
+		MaxCandidates:  a.opts.MaxCandidates,
+	}), nil
 }

@@ -83,7 +83,7 @@ func TestCoversBitmapMatchesContainment(t *testing.T) {
 		for bi, b := range basics {
 			want := b.Collection == c.Collection && b.Type == c.Type &&
 				pattern.Contains(c.Pattern, b.Pattern)
-			if got := c.covers.get(bi); got != want {
+			if got := c.Covers().Get(bi); got != want {
 				t.Errorf("covers(%s, %s) = %v, want %v", c.Pattern, b.Pattern, got, want)
 			}
 		}
@@ -164,31 +164,28 @@ func TestMinSharedStepsBlocksUnrelatedLUB(t *testing.T) {
 	}
 }
 
-func TestBitsetOps(t *testing.T) {
-	b := newBitset(130)
-	b.set(0)
-	b.set(64)
-	b.set(129)
-	if !b.get(0) || !b.get(64) || !b.get(129) || b.get(1) {
-		t.Error("set/get broken")
+func TestRecommendationCarriesPipelineStats(t *testing.T) {
+	rec := recommendWith(t, DefaultOptions(), datagen.XMarkPaperWorkload())
+	if rec.Gen.Source != "optimizer" {
+		t.Errorf("pipeline source = %q", rec.Gen.Source)
 	}
-	if b.count() != 3 {
-		t.Errorf("count = %d", b.count())
+	if rec.Gen.Basic != len(rec.Basics) {
+		t.Errorf("stats basic %d != %d basics", rec.Gen.Basic, len(rec.Basics))
 	}
-	c := b.clone()
-	c.set(1)
-	if b.get(1) {
-		t.Error("clone shares storage")
+	if rec.Gen.Enumerated < rec.Gen.Basic {
+		t.Errorf("enumerated %d < basic %d", rec.Gen.Enumerated, rec.Gen.Basic)
 	}
-	if !b.subset(c) {
-		t.Error("b should be subset of c")
+	if rec.Gen.Generalized != len(rec.DAG.Nodes)-len(rec.Basics) {
+		t.Errorf("stats generalized %d != %d DAG extras",
+			rec.Gen.Generalized, len(rec.DAG.Nodes)-len(rec.Basics))
 	}
-	if c.subset(b) {
-		t.Error("c should not be subset of b")
+	var lub bool
+	for _, r := range rec.Gen.Rules {
+		if r.Name == "lub" && r.Applied > 0 {
+			lub = true
+		}
 	}
-	d := newBitset(130)
-	d.or(b)
-	if d.count() != 3 {
-		t.Error("or broken")
+	if !lub {
+		t.Errorf("no lub applications recorded: %+v", rec.Gen.Rules)
 	}
 }

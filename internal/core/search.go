@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/candidate"
 )
 
 // SearchKind selects the configuration search algorithm (paper §2.3).
@@ -122,7 +124,7 @@ func ratio(benefit float64, pages int64) float64 {
 func (a *Advisor) searchGreedyHeuristic(cands []*Candidate, ev *evaluator) (*searchResult, error) {
 	res := &searchResult{}
 	var config []*Candidate
-	covered := newBitset(bitsetWidth(cands))
+	covered := candidate.NewBitset(bitsetWidth(cands))
 
 	// Candidates with no standalone benefit are dropped up front. A
 	// candidate useless alone can in principle gain value inside an
@@ -164,7 +166,7 @@ func (a *Advisor) searchGreedyHeuristic(cands []*Candidate, ev *evaluator) (*sea
 				continue
 			}
 			// Redundancy heuristic: covered patterns must grow.
-			if c.covers.subset(covered) {
+			if c.Covers().Subset(covered) {
 				continue
 			}
 			elig = append(elig, c)
@@ -222,7 +224,7 @@ func (a *Advisor) searchGreedyHeuristic(cands []*Candidate, ev *evaluator) (*sea
 			break
 		}
 		config = append(config, best)
-		covered.or(best.covers)
+		covered.Or(best.Covers())
 		if bestEval == nil {
 			bestEval, err = ev.eval(config)
 			if err != nil {
@@ -231,7 +233,7 @@ func (a *Advisor) searchGreedyHeuristic(cands []*Candidate, ev *evaluator) (*sea
 		}
 		curEval = bestEval
 		res.trace = append(res.trace, fmt.Sprintf("add %s (net %.1f, %d/%d patterns covered)",
-			best, curEval.Net, covered.count(), bitsetWidth(cands)))
+			best, curEval.Net, covered.Count(), bitsetWidth(cands)))
 
 		// Reclaim space held by members no plan uses anymore.
 		pruned := config[:0:0]
@@ -248,9 +250,9 @@ func (a *Advisor) searchGreedyHeuristic(cands []*Candidate, ev *evaluator) (*sea
 			if err != nil {
 				return nil, err
 			}
-			covered = newBitset(bitsetWidth(cands))
+			covered = candidate.NewBitset(bitsetWidth(cands))
 			for _, c := range config {
-				covered.or(c.covers)
+				covered.Or(c.Covers())
 			}
 		}
 		// Remove the chosen candidate from further consideration.

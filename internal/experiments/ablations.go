@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -126,8 +128,33 @@ func WorkerSweep() []int {
 	return set
 }
 
+// E13RuleAblation measures the contribution of each generalization rule
+// (§2.2) to the candidate space and the recommendation: the default rule
+// set, each rule alone, the full set, and none, with the pipeline's
+// per-rule applied/pruned counters.
+func E13RuleAblation(env *Env) (string, error) {
+	t := newTable("E13: generalization rule ablation (XMark workload, unlimited budget)",
+		"rules", "#basic", "#cands", "#idx", "pages", "net benefit", "rule applied/pruned")
+	for _, spec := range []string{"none", "lub", "wildcard", "leaf", "axis", "universal", "lub,leaf", "all"} {
+		opts := core.DefaultOptions()
+		opts.Rules = spec
+		a := env.advisor(opts)
+		rec, err := a.Recommend(env.XMarkWorkload)
+		if err != nil {
+			return "", err
+		}
+		var counters []string
+		for _, r := range rec.Gen.Rules {
+			counters = append(counters, fmt.Sprintf("%s:%d/%d", r.Name, r.Applied, r.Pruned))
+		}
+		t.add(spec, rec.Gen.Basic, len(rec.DAG.Nodes), len(rec.Config), rec.TotalPages,
+			rec.NetBenefit, strings.Join(counters, " "))
+	}
+	return t.String(), nil
+}
+
 // All runs every experiment at the given scale, returning the reports in
-// order E1..E12.
+// order E1..E13.
 func All(s Scale) ([]string, error) {
 	env, err := BuildEnv(s)
 	if err != nil {
@@ -150,6 +177,7 @@ func All(s Scale) ([]string, error) {
 		{"E10", E10InteractionAblation},
 		{"E11", E11AdvisorScalability},
 		{"E12", E12ParallelWhatIf},
+		{"E13", E13RuleAblation},
 	}
 	var out []string
 	for _, e := range exps {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -152,6 +153,39 @@ func TestE12(t *testing.T) {
 	}
 }
 
+func TestE13(t *testing.T) {
+	rep, err := E13RuleAblation(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"none", "lub", "leaf", "all", "applied/pruned", "lub:"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("missing %q in:\n%s", want, rep)
+		}
+	}
+	// Every rule row must report at least as many candidates as basics
+	// (rules only ever add to the basic set).
+	lines := strings.Split(strings.TrimSpace(rep), "\n")
+	rows := 0
+	for _, ln := range lines[3:] {
+		f := strings.Fields(ln)
+		if len(f) < 3 {
+			continue
+		}
+		rows++
+		var basic, cands int
+		if _, err := fmt.Sscanf(f[1]+" "+f[2], "%d %d", &basic, &cands); err != nil {
+			t.Fatalf("unparseable row %q: %v", ln, err)
+		}
+		if cands < basic {
+			t.Errorf("row %q: %d candidates < %d basics", ln, cands, basic)
+		}
+	}
+	if rows < 8 {
+		t.Errorf("expected 8 ablation rows, got %d:\n%s", rows, rep)
+	}
+}
+
 func TestEnvDeterministicAndCached(t *testing.T) {
 	a, err := BuildEnv(Small)
 	if err != nil {
@@ -194,8 +228,8 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 12 {
-		t.Fatalf("All returned %d reports, want 12", len(reports))
+	if len(reports) != 13 {
+		t.Fatalf("All returned %d reports, want 13", len(reports))
 	}
 	for i, r := range reports {
 		if r == "" {
