@@ -503,6 +503,7 @@ func (s *shell) cmdCandidates(rest string) error {
 		return err
 	}
 	fmt.Fprintln(s.out, set.Stats.String())
+	fmt.Fprintln(s.out, pattern.Stats().String())
 	fmt.Fprint(s.out, set.DAG.Render())
 	return nil
 }

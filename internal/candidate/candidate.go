@@ -25,6 +25,7 @@ package candidate
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/catalog"
 	"repro/internal/pattern"
@@ -140,9 +141,19 @@ func (b Bitset) Clone() Bitset {
 func (b Bitset) Count() int {
 	n := 0
 	for _, w := range b {
-		for ; w != 0; w &= w - 1 {
-			n++
-		}
+		n += bits.OnesCount64(w)
 	}
 	return n
+}
+
+// Each iterates the set bit indices in ascending order; use with
+// range-over-func: for i := range b.Each { ... }.
+func (b Bitset) Each(yield func(int) bool) {
+	for wi, w := range b {
+		for ; w != 0; w &= w - 1 {
+			if !yield(wi*64 + bits.TrailingZeros64(w)) {
+				return
+			}
+		}
+	}
 }

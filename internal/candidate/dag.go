@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-
-	"repro/internal/pattern"
 )
 
 // DAG is the candidate generalization DAG (paper §2.2, Figure 4): nodes
@@ -18,40 +16,25 @@ type DAG struct {
 }
 
 // buildDAG wires parent/child edges by pattern containment with
-// transitive reduction, per (collection, type) stratum.
+// transitive reduction, per (collection, type) stratum. The containment
+// relation is computed once as a Bitset-row matrix (leaf-bucketed pair
+// pre-filtering, structural fast paths) and reduced word-parallel; see
+// matrix.go.
 func buildDAG(all []*Candidate) *DAG {
-	n := len(all)
-	// contains[i][j]: candidate i's pattern properly contains j's.
-	contains := make([][]bool, n)
-	for i := range contains {
-		contains[i] = make([]bool, n)
-	}
-	for i, p := range all {
-		for j, q := range all {
-			if i == j || p.Collection != q.Collection || p.Type != q.Type {
-				continue
-			}
-			if pattern.ContainsCached(p.Pattern, q.Pattern) && !pattern.ContainsCached(q.Pattern, p.Pattern) {
-				contains[i][j] = true
-			}
-		}
-	}
-	// Transitive reduction: edge i->j survives iff no k with i⊃k⊃j.
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if !contains[i][j] {
-				continue
-			}
-			direct := true
-			for k := 0; k < n && direct; k++ {
-				if k != i && k != j && contains[i][k] && contains[k][j] {
-					direct = false
-				}
-			}
-			if direct {
-				all[i].Children = append(all[i].Children, all[j])
-				all[j].Parents = append(all[j].Parents, all[i])
-			}
+	dag, _ := buildDAGMatrix(all)
+	return dag
+}
+
+// buildDAGMatrix is buildDAG, also returning the underlying containment
+// matrix so the pipeline can reuse it for the covers bitmaps and report
+// its stats.
+func buildDAGMatrix(all []*Candidate) (*DAG, *containmentMatrix) {
+	mx := newContainmentMatrix(all)
+	direct := mx.reduce()
+	for i, row := range direct {
+		for j := range row.Each {
+			all[i].Children = append(all[i].Children, all[j])
+			all[j].Parents = append(all[j].Parents, all[i])
 		}
 	}
 	dag := &DAG{Nodes: all}
@@ -63,7 +46,7 @@ func buildDAG(all []*Candidate) *DAG {
 		}
 	}
 	sortByKey(dag.Roots)
-	return dag
+	return dag, mx
 }
 
 // sortByKey orders candidates by what they index, independent of ID

@@ -1,0 +1,95 @@
+package candidate
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+)
+
+// genBenchCandidates builds n synthetic candidates shaped like a real
+// advisor candidate space: concrete paths over a small name hierarchy
+// plus wildcard, axis, and descendant-leaf generalizations, split
+// across two SQL types. Deterministic for a given n.
+func genBenchCandidates(n int) []*Candidate {
+	l2 := []string{"regions", "people", "open_auctions", "closed_auctions", "categories", "catgraph"}
+	l3 := []string{"africa", "asia", "europe", "namerica", "samerica", "australia", "person", "auction"}
+	l4 := []string{"item", "profile", "bidder", "seller", "watch"}
+	leaf := []string{"name", "price", "quantity", "location", "date", "id", "income", "category", "text", "payment"}
+
+	seen := map[string]bool{}
+	var out []*Candidate
+	add := func(pat string, t sqltype.Type) {
+		if len(out) >= n {
+			return
+		}
+		p, err := pattern.Parse(pat)
+		if err != nil {
+			return
+		}
+		key := p.String() + "|" + t.Short()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, &Candidate{
+			ID:         len(out),
+			Collection: "auction",
+			Pattern:    p,
+			Type:       t,
+			Basic:      true,
+		})
+	}
+
+	// rng is a tiny deterministic LCG, so candidate sets are identical
+	// across runs and implementations.
+	state := uint64(0x9E3779B97F4A7C15)
+	rng := func(m int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % m
+	}
+	for len(out) < n {
+		a, b, c, d := l2[rng(len(l2))], l3[rng(len(l3))], l4[rng(len(l4))], leaf[rng(len(leaf))]
+		t := sqltype.Varchar
+		if rng(3) == 0 {
+			t = sqltype.Double
+		}
+		base := fmt.Sprintf("/site/%s/%s/%s/%s", a, b, c, d)
+		add(base, t)
+		switch rng(6) {
+		case 0:
+			add(fmt.Sprintf("/site/%s/*/%s/%s", a, c, d), t)
+		case 1:
+			add(fmt.Sprintf("/site/%s/%s/%s/*", a, b, c), t)
+		case 2:
+			add(fmt.Sprintf("/site/*/*/%s/*", c), t)
+		case 3:
+			add("//"+d, t)
+		case 4:
+			add(fmt.Sprintf("/site/%s//%s", a, d), t)
+		case 5:
+			add(fmt.Sprintf("/site/%s/%s/%s/@%s", a, b, c, d), t)
+		}
+	}
+	return out
+}
+
+// BenchmarkBuildDAG measures containment-DAG construction (pairwise
+// containment plus transitive reduction) at advisor-realistic candidate
+// counts.
+func BenchmarkBuildDAG(b *testing.B) {
+	for _, n := range []int{50, 200, 800} {
+		b.Run(fmt.Sprintf("n-%d", n), func(b *testing.B) {
+			cands := genBenchCandidates(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, c := range cands {
+					c.Parents, c.Children = nil, nil
+				}
+				buildDAG(cands)
+			}
+		})
+	}
+}

@@ -1,0 +1,177 @@
+package candidate
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+)
+
+// MatrixStats describe one containment-matrix build: how many candidate
+// pairs survived the stratum and leaf-name pre-filters, how those pairs
+// were decided (structurally vs by the NFA product search), and the
+// wall-clock split between pairwise containment and the word-parallel
+// transitive reduction.
+type MatrixStats struct {
+	// Strata is the number of (collection, type) groups.
+	Strata int
+	// Pairs counts ordered candidate pairs tested for containment after
+	// the stratum and leaf-compatibility pre-filters.
+	Pairs int
+	// Structural counts pairs decided by the kernel's structural fast
+	// path; NFA counts pairs that ran the automaton product search.
+	Structural int
+	NFA        int
+	// Edges is the DAG edge count after transitive reduction.
+	Edges int
+	// BuildWall and ReduceWall split the matrix wall-clock between the
+	// pairwise containment sweep and the bitwise transitive reduction.
+	BuildWall  time.Duration
+	ReduceWall time.Duration
+}
+
+// String renders the stats as one line.
+func (s MatrixStats) String() string {
+	return fmt.Sprintf("matrix: %d strata, %d pairs (%d structural, %d nfa), %d edges, build %v, reduce %v",
+		s.Strata, s.Pairs, s.Structural, s.NFA, s.Edges,
+		s.BuildWall.Round(time.Microsecond), s.ReduceWall.Round(time.Microsecond))
+}
+
+// containmentMatrix is the pairwise containment relation over one
+// candidate set, one Bitset row per candidate: contains[i] bit j means
+// candidate i's pattern contains candidate j's within the same
+// (collection, type) stratum, diagonal included. The matrix is computed
+// once per pipeline run and shared by the DAG build (via word-parallel
+// transitive reduction) and the covers bitmaps.
+type containmentMatrix struct {
+	contains []Bitset
+	stats    MatrixStats
+}
+
+// leafOf buckets a pattern by its final step's node test; containment
+// requires equal leaf kinds and a leaf name no more specific in the
+// container (every word of the containee ends with a symbol matching
+// the containee's leaf).
+type leafKey struct {
+	kind pattern.TestKind
+	name string
+}
+
+// newContainmentMatrix computes the containment rows for all, bucketing
+// by (collection, type) stratum and pre-filtering pairs by leaf
+// compatibility so most non-containing pairs are never tested.
+func newContainmentMatrix(all []*Candidate) *containmentMatrix {
+	start := time.Now()
+	n := len(all)
+	m := &containmentMatrix{contains: make([]Bitset, n)}
+	words := (n + 63) / 64
+	backing := make([]uint64, n*words) // one arena for all rows
+	for i := range m.contains {
+		m.contains[i] = Bitset(backing[i*words : (i+1)*words])
+	}
+
+	type stratumKey struct {
+		coll string
+		typ  sqltype.Type
+	}
+	strata := map[stratumKey][]int{}
+	for i, c := range all {
+		k := stratumKey{c.Collection, c.Type}
+		strata[k] = append(strata[k], i)
+	}
+	m.stats.Strata = len(strata)
+
+	ms := make([]*pattern.Matcher, n)
+	for i, c := range all {
+		ms[i] = pattern.InternedMatcher(c.Pattern)
+	}
+
+	for _, members := range strata {
+		// Bucket members by leaf test. A container with a concrete leaf
+		// name can only contain candidates with the same concrete leaf;
+		// a wildcard-leaf container can contain any leaf of its kind.
+		byLeaf := map[leafKey][]int{}
+		byKind := map[pattern.TestKind][]int{}
+		for _, i := range members {
+			last := all[i].Pattern.Last()
+			byLeaf[leafKey{last.Kind, last.Name}] = append(byLeaf[leafKey{last.Kind, last.Name}], i)
+			byKind[last.Kind] = append(byKind[last.Kind], i)
+		}
+		for _, i := range members {
+			m.contains[i].Set(i) // diagonal: every pattern contains itself
+			last := all[i].Pattern.Last()
+			targets := byLeaf[leafKey{last.Kind, last.Name}]
+			if last.Kind != pattern.TestText && last.Name == "" {
+				targets = byKind[last.Kind]
+			}
+			for _, j := range targets {
+				if i == j {
+					continue
+				}
+				m.stats.Pairs++
+				contained, structural := ms[i].ContainsDetail(ms[j])
+				if structural {
+					m.stats.Structural++
+				} else {
+					m.stats.NFA++
+				}
+				if contained {
+					m.contains[i].Set(j)
+				}
+			}
+		}
+	}
+	m.stats.BuildWall = time.Since(start)
+	return m
+}
+
+// properRows derives the proper-containment relation (i ⊃ j: contains
+// but not contained back — languages equal in both directions carry no
+// DAG edge) from the matrix.
+func (m *containmentMatrix) properRows() []Bitset {
+	n := len(m.contains)
+	words := (n + 63) / 64
+	backing := make([]uint64, n*words)
+	proper := make([]Bitset, n)
+	for i := range proper {
+		proper[i] = Bitset(backing[i*words : (i+1)*words])
+		row := m.contains[i]
+		for j := range row.Each {
+			if j != i && !m.contains[j].Get(i) {
+				proper[i].Set(j)
+			}
+		}
+	}
+	return proper
+}
+
+// reduce computes the transitively reduced edge set word-parallel: an
+// edge i->j is direct iff j is not properly contained by any other
+// candidate k that i properly contains. Each row's indirect set is the
+// union of the rows it reaches, OR-ed 64 candidates at a time —
+// replacing the scalar triple loop the matrix superseded.
+func (m *containmentMatrix) reduce() []Bitset {
+	start := time.Now()
+	proper := m.properRows()
+	n := len(proper)
+	words := (n + 63) / 64
+	indirect := make(Bitset, words)
+	direct := make([]Bitset, n)
+	backing := make([]uint64, n*words)
+	for i := range proper {
+		for w := range indirect {
+			indirect[w] = 0
+		}
+		for k := range proper[i].Each {
+			indirect.Or(proper[k])
+		}
+		direct[i] = Bitset(backing[i*words : (i+1)*words])
+		for w := range direct[i] {
+			direct[i][w] = proper[i][w] &^ indirect[w]
+		}
+		m.stats.Edges += direct[i].Count()
+	}
+	m.stats.ReduceWall = time.Since(start)
+	return direct
+}

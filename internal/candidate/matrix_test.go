@@ -1,0 +1,117 @@
+package candidate
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+// naiveDAG is the original scalar DAG construction — O(n²) pairwise
+// ContainsCached plus an O(n³) boolean transitive reduction — kept as
+// the oracle for the matrix-based build.
+func naiveDAG(all []*Candidate) map[string]bool {
+	n := len(all)
+	contains := make([][]bool, n)
+	for i := range contains {
+		contains[i] = make([]bool, n)
+	}
+	for i, p := range all {
+		for j, q := range all {
+			if i == j || p.Collection != q.Collection || p.Type != q.Type {
+				continue
+			}
+			if pattern.ContainsCached(p.Pattern, q.Pattern) && !pattern.ContainsCached(q.Pattern, p.Pattern) {
+				contains[i][j] = true
+			}
+		}
+	}
+	edges := map[string]bool{}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !contains[i][j] {
+				continue
+			}
+			direct := true
+			for k := 0; k < n && direct; k++ {
+				if k != i && k != j && contains[i][k] && contains[k][j] {
+					direct = false
+				}
+			}
+			if direct {
+				edges[all[i].Key()+" -> "+all[j].Key()] = true
+			}
+		}
+	}
+	return edges
+}
+
+// TestMatrixDAGMatchesNaive checks the leaf-bucketed matrix build plus
+// word-parallel reduction produces exactly the scalar algorithm's edges
+// on a realistic synthetic candidate set.
+func TestMatrixDAGMatchesNaive(t *testing.T) {
+	for _, n := range []int{25, 120} {
+		t.Run(fmt.Sprintf("n-%d", n), func(t *testing.T) {
+			cands := genBenchCandidates(n)
+			want := naiveDAG(cands)
+			dag := buildDAG(cands)
+			got := map[string]bool{}
+			for _, c := range dag.Nodes {
+				for _, ch := range c.Children {
+					got[c.Key()+" -> "+ch.Key()] = true
+				}
+			}
+			for e := range want {
+				if !got[e] {
+					t.Errorf("missing edge %s", e)
+				}
+			}
+			for e := range got {
+				if !want[e] {
+					t.Errorf("spurious edge %s", e)
+				}
+			}
+			if dag.Edges() != len(want) {
+				t.Errorf("Edges() = %d, want %d", dag.Edges(), len(want))
+			}
+			for _, c := range cands {
+				c.Parents, c.Children = nil, nil
+			}
+		})
+	}
+}
+
+// TestMatrixCoversMatchesDirect checks the matrix-derived covers
+// bitmaps equal the direct per-pair definition.
+func TestMatrixCoversMatchesDirect(t *testing.T) {
+	all := genBenchCandidates(80)
+	basics := all[:30]
+	mx := newContainmentMatrix(all)
+	buildCovers(all, basics, mx)
+	for _, c := range all {
+		for i, b := range basics {
+			want := b.Collection == c.Collection && b.Type == c.Type &&
+				pattern.ContainsCached(c.Pattern, b.Pattern)
+			if got := c.Covers().Get(i); got != want {
+				t.Fatalf("covers(%s, %s) = %v, want %v", c.Key(), b.Key(), got, want)
+			}
+		}
+	}
+}
+
+// TestMatrixStatsCoherent sanity-checks the matrix counters.
+func TestMatrixStatsCoherent(t *testing.T) {
+	all := genBenchCandidates(60)
+	mx := newContainmentMatrix(all)
+	st := mx.stats
+	if st.Strata == 0 || st.Pairs == 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+	if st.Structural+st.NFA != st.Pairs {
+		t.Fatalf("decision split %d+%d != pairs %d", st.Structural, st.NFA, st.Pairs)
+	}
+	mx.reduce()
+	if mx.stats.Edges == 0 {
+		t.Fatal("no edges on a generalization-rich candidate set")
+	}
+}

@@ -61,6 +61,9 @@ type Stats struct {
 	Pruned int
 	// Rules holds the per-rule counters, in application order.
 	Rules []RuleStats
+	// Matrix describes the containment-matrix build behind the DAG and
+	// covers bitmaps: pair counts, decision-path split, and timings.
+	Matrix MatrixStats
 	// Wall is the pipeline wall-clock time.
 	Wall time.Duration
 }
@@ -73,6 +76,7 @@ func (s Stats) String() string {
 	for _, r := range s.Rules {
 		fmt.Fprintf(&sb, "\n  rule %-9s applied %4d  pruned %4d", r.Name, r.Applied, r.Pruned)
 	}
+	fmt.Fprintf(&sb, "\n  %s", s.Matrix)
 	return sb.String()
 }
 
@@ -125,8 +129,10 @@ func (p *Pipeline) Run(ctx context.Context, w *workload.Workload) (*Set, error) 
 		st.Pruned += r.Pruned
 	}
 
-	buildCovers(all, basics)
-	set := &Set{All: all, Basics: basics, DAG: buildDAG(all)}
+	dag, mx := buildDAGMatrix(all)
+	buildCovers(all, basics, mx)
+	st.Matrix = mx.stats
+	set := &Set{All: all, Basics: basics, DAG: dag}
 	st.Wall = time.Since(start)
 	set.Stats = st
 	return set, nil
@@ -339,16 +345,24 @@ func (p *Pipeline) generalize(basics []*Candidate, st *Stats) ([]*Candidate, err
 }
 
 // buildCovers fills each candidate's redundancy bitmap over the basic
-// candidates (same collection and type, containing pattern).
-func buildCovers(all, basics []*Candidate) {
-	for _, c := range all {
+// candidates (same collection and type, containing pattern) straight
+// from the containment matrix rows — the stratum and containment tests
+// were already paid for by the DAG build.
+func buildCovers(all, basics []*Candidate, mx *containmentMatrix) {
+	// generalize() builds all as basics followed by accepted proposals
+	// and the no-data prune keeps every basic, so basics[bi] == all[bi]
+	// and a basic's matrix column is simply bi.
+	for bi, b := range basics {
+		if all[bi] != b {
+			panic("candidate: basics are not a prefix of the candidate set")
+		}
+	}
+	for i, c := range all {
 		c.covers = NewBitset(len(basics))
-		for i, b := range basics {
-			if b.Collection != c.Collection || b.Type != c.Type {
-				continue
-			}
-			if pattern.ContainsCached(c.Pattern, b.Pattern) {
-				c.covers.Set(i)
+		row := mx.contains[i]
+		for bi := range basics {
+			if row.Get(bi) {
+				c.covers.Set(bi)
 			}
 		}
 	}

@@ -52,6 +52,8 @@ func fingerprint(s *Set) string {
 	sb.WriteString(s.DAG.Render())
 	st := s.Stats
 	st.Wall = 0
+	st.Matrix.BuildWall = 0
+	st.Matrix.ReduceWall = 0
 	fmt.Fprintf(&sb, "%+v\n", st)
 	return sb.String()
 }

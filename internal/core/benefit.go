@@ -33,11 +33,13 @@ type evaluator struct {
 	// insertDocs caches, per update index, the parsed sample document.
 	insertDocs []*xmldoc.Document
 
-	// entryMu guards entryCount, the memoized per-(update, candidate)
-	// index-entry counts behind updateCost — the one expensive
-	// non-optimizer computation, shared across concurrent evals.
+	// entryMu guards the memoized per-(update, candidate) state behind
+	// updateCost, shared across concurrent evals: entryCount holds
+	// index-entry counts (the one expensive non-optimizer computation),
+	// delOverlap holds delete-scope overlap decisions.
 	entryMu    sync.Mutex
 	entryCount map[[2]int]int
+	delOverlap map[[2]int]bool
 }
 
 // configEval is the derived evaluation of one configuration.
@@ -57,7 +59,8 @@ type configEval struct {
 }
 
 func (a *Advisor) newEvaluator(ctx context.Context, w *workload.Workload) (*evaluator, error) {
-	ev := &evaluator{a: a, w: w, ctx: ctx, bound: a.cost.Bind(w.QueryList()), entryCount: map[[2]int]int{}}
+	ev := &evaluator{a: a, w: w, ctx: ctx, bound: a.cost.Bind(w.QueryList()),
+		entryCount: map[[2]int]int{}, delOverlap: map[[2]int]bool{}}
 	// The empty configuration gives every query's document-scan cost.
 	base, err := ev.bound.EvaluateConfig(ctx, nil)
 	if err != nil {
@@ -167,6 +170,10 @@ func (ev *evaluator) updateCost(cfg []*Candidate) float64 {
 	perEntry := ev.a.maintPerEntry
 	var total float64
 	for ui, u := range ev.w.Updates {
+		var deleteScope pattern.Pattern
+		if u.Kind == workload.UpdateDelete && u.Path != nil {
+			deleteScope = docScope(u.Path.LinearPattern())
+		}
 		for _, c := range cfg {
 			if c.Collection != u.Collection {
 				continue
@@ -187,7 +194,7 @@ func (ev *evaluator) updateCost(cfg []*Candidate) float64 {
 					continue
 				}
 				perDoc := float64(c.Def.EstEntries) / float64(st.Docs)
-				if u.Path != nil && !pattern.Overlaps(docScope(u.Path.LinearPattern()), docScope(c.Pattern)) {
+				if u.Path != nil && !ev.deleteOverlaps(ui, deleteScope, c) {
 					continue
 				}
 				total += u.Weight * perDoc * perEntry
@@ -195,6 +202,26 @@ func (ev *evaluator) updateCost(cfg []*Candidate) float64 {
 		}
 	}
 	return total
+}
+
+// deleteOverlaps is the memoized per-(update, candidate) decision of
+// whether update ui's delete scope shares a document root with
+// candidate c's pattern; updateCost runs once per configuration
+// evaluation, so the docScope rendering and kernel lookup are paid at
+// most once per pair.
+func (ev *evaluator) deleteOverlaps(ui int, scope pattern.Pattern, c *Candidate) bool {
+	key := [2]int{ui, c.ID}
+	ev.entryMu.Lock()
+	v, ok := ev.delOverlap[key]
+	ev.entryMu.Unlock()
+	if ok {
+		return v
+	}
+	v = pattern.OverlapsCached(scope, docScope(c.Pattern))
+	ev.entryMu.Lock()
+	ev.delOverlap[key] = v
+	ev.entryMu.Unlock()
+	return v
 }
 
 // docEntries is the memoized entry count of update ui's sample document
@@ -220,13 +247,13 @@ func docScope(p pattern.Pattern) pattern.Pattern {
 	if p.IsZero() {
 		return p
 	}
-	return pattern.Pattern{Steps: p.Steps[:1]}
+	return p.Prefix(1)
 }
 
 // docEntriesFor counts the index entries document d would contribute to
 // candidate c — exact maintenance work for an insert of d.
 func docEntriesFor(d *xmldoc.Document, c *Candidate) int {
-	m := pattern.Compile(c.Pattern)
+	m := pattern.InternedMatcher(c.Pattern)
 	n := 0
 	d.Walk(func(nd *xmldoc.Node) bool {
 		var raw string

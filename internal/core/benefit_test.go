@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+	"repro/internal/workload"
+	"repro/internal/xmldoc"
+)
+
+// referenceUpdateCost recomputes a configuration's maintenance cost from
+// first principles — uncached pattern.Overlaps, per-call Compile — as
+// the oracle for the kernel-backed updateCost path (OverlapsCached,
+// interned matchers, memoized entry counts).
+func referenceUpdateCost(t *testing.T, a *Advisor, w *workload.Workload, cfg []*Candidate) float64 {
+	t.Helper()
+	var total float64
+	for _, u := range w.Updates {
+		for _, c := range cfg {
+			if c.Collection != u.Collection {
+				continue
+			}
+			switch u.Kind {
+			case workload.UpdateInsert:
+				d, err := xmldoc.ParseString(u.DocXML)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := pattern.Compile(c.Pattern)
+				entries := 0
+				d.Walk(func(nd *xmldoc.Node) bool {
+					var raw string
+					switch nd.Kind {
+					case xmldoc.KindElement:
+						raw = nd.Text()
+					default:
+						raw = nd.Value
+					}
+					if m.MatchPath(nd.RootPath()) {
+						if _, ok := sqltype.Cast(c.Type, raw); ok {
+							entries++
+						}
+					}
+					return true
+				})
+				total += u.Weight * float64(entries) * a.maintPerEntry
+			case workload.UpdateDelete:
+				st, err := a.cat.Stats(u.Collection)
+				if err != nil || st.Docs == 0 {
+					continue
+				}
+				perDoc := float64(c.Def.EstEntries) / float64(st.Docs)
+				if u.Path != nil && !pattern.Overlaps(docScope(u.Path.LinearPattern()), docScope(c.Pattern)) {
+					continue
+				}
+				total += u.Weight * perDoc * a.maintPerEntry
+			}
+		}
+	}
+	return total
+}
+
+// TestUpdateBenefitUnchangedByKernelCache checks the kernel-cached
+// update-cost path (OverlapsCached through the containment kernel)
+// produces exactly the same maintenance charges as the uncached
+// reference, on a workload with both inserts and path-scoped deletes.
+func TestUpdateBenefitUnchangedByKernelCache(t *testing.T) {
+	cat := xmarkFixture(t, 200)
+	w := datagen.XMarkWorkload(8, 3)
+	datagen.XMarkUpdates(w, 300, 3)
+	// A delete whose path shares no document root with any candidate
+	// exercises the non-overlapping branch too.
+	if err := w.AddDelete(50, "auction", "/other_root/thing"); err != nil {
+		t.Fatal(err)
+	}
+
+	a := New(cat, DefaultOptions())
+	rec, err := a.Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.UpdateCost <= 0 {
+		t.Fatal("workload with updates charged no maintenance cost")
+	}
+	want := referenceUpdateCost(t, a, w, rec.Config)
+	if math.Abs(rec.UpdateCost-want) > 1e-9*math.Max(1, want) {
+		t.Fatalf("update cost through kernel cache = %v, reference = %v", rec.UpdateCost, want)
+	}
+
+	// A second advisor over the now-warm process-wide kernel must charge
+	// identical costs (cached Overlaps results replay correctly).
+	rec2, err := New(cat, DefaultOptions()).Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.UpdateCost != rec.UpdateCost {
+		t.Fatalf("update cost changed on warm kernel: %v vs %v", rec2.UpdateCost, rec.UpdateCost)
+	}
+}

@@ -174,7 +174,7 @@ func (e *Executor) scanAccess(col *store.Collection, a *optimizer.LegAccess, res
 	// Verify entry paths when the index is more general than the leg.
 	var m *pattern.Matcher
 	if a.ResidualPathCheck {
-		m = pattern.Compile(a.Leg.Pattern)
+		m = pattern.InternedMatcher(a.Leg.Pattern)
 	}
 	docs := map[xmldoc.DocID]bool{}
 	for _, entry := range scan.Entries {

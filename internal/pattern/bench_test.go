@@ -1,0 +1,74 @@
+package pattern
+
+import "testing"
+
+// benchPairs is a representative mix of containment queries: equal
+// patterns, wildcard and axis generalizations, descendant leaves,
+// attribute/text leaves, and non-containing pairs — the shapes the DAG
+// build and the optimizer's index-matching test see constantly.
+var benchPairs = func() [][2]Pattern {
+	specs := [][2]string{
+		{"/site/regions/namerica/item/quantity", "/site/regions/namerica/item/quantity"},
+		{"/site/regions/*/item/quantity", "/site/regions/namerica/item/quantity"},
+		{"/site/regions/*/item/*", "/site/regions/africa/item/price"},
+		{"/site/*/*", "/site/regions/item"},
+		{"//item", "/site/regions/namerica/item"},
+		{"//item/quantity", "/site/regions/samerica/item/quantity"},
+		{"/site//item", "/site/regions/europe/item"},
+		{"//*", "/site/regions/asia/item"},
+		{"//@id", "/site/people/person/@id"},
+		{"/site/people/person/@*", "/site/people/person/@income"},
+		{"//text()", "/site/regions/item/name/text()"},
+		{"/a//b//c", "/a/b/x/b/y/c"},
+		{"/a//b//c", "/a//c"},
+		{"/site/regions/namerica/item", "/site/regions/africa/item"},
+		{"/site/regions/*/item/price", "/site/regions/africa/item/quantity"},
+		{"/site/open_auctions/open_auction/bidder/increase", "/site/closed_auctions/closed_auction/price"},
+		{"//person/@id", "//item/@id"},
+		{"/site/regions/namerica/item/quantity", "/site/regions/*/item/quantity"},
+		{"/a/b/c", "/a//c"},
+		{"//item", "//item/quantity"},
+	}
+	out := make([][2]Pattern, len(specs))
+	for i, s := range specs {
+		out[i] = [2]Pattern{MustParse(s[0]), MustParse(s[1])}
+	}
+	return out
+}()
+
+// BenchmarkContains measures the raw (uncached) containment decision
+// over the pair mix.
+func BenchmarkContains(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, pq := range benchPairs {
+			Contains(pq[0], pq[1])
+		}
+	}
+}
+
+// BenchmarkContainsCached measures the memoized hot path (all pairs
+// cached after the first iteration) — the optimizer's inner loop.
+func BenchmarkContainsCached(b *testing.B) {
+	b.ReportAllocs()
+	for _, pq := range benchPairs {
+		ContainsCached(pq[0], pq[1]) // warm
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pq := range benchPairs {
+			ContainsCached(pq[0], pq[1])
+		}
+	}
+}
+
+// BenchmarkOverlaps measures the raw intersection-non-emptiness test
+// over the pair mix (the update-cost path).
+func BenchmarkOverlaps(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, pq := range benchPairs {
+			Overlaps(pq[0], pq[1])
+		}
+	}
+}

@@ -52,3 +52,28 @@ func FuzzContainment(f *testing.F) {
 		}
 	})
 }
+
+// FuzzContainmentDifferential checks the fast kernel — structural fast
+// paths, interned matchers, pooled NFA search, product-reachability
+// Overlaps, and both pair caches — against the original map-backed
+// subset-BFS reference on arbitrary pattern pairs.
+func FuzzContainmentDifferential(f *testing.F) {
+	f.Add("/a/*/c", "/a/b/c")
+	f.Add("//item", "/site/regions/namerica/item")
+	f.Add("/a//b//c", "/a/b/x/b/y/c")
+	f.Add("//*", "/a/b/@id")
+	f.Add("/a/@*", "/a/@id")
+	f.Add("//text()", "/a/b/text()")
+	f.Add("/a//b/*", "/a//*/b")
+	f.Fuzz(func(t *testing.T, ps, qs string) {
+		p, err := Parse(ps)
+		if err != nil {
+			return
+		}
+		q, err := Parse(qs)
+		if err != nil {
+			return
+		}
+		checkKernelAgainstReference(t, p, q)
+	})
+}

@@ -318,15 +318,6 @@ func TestContainmentImpliesOverlap(t *testing.T) {
 	}
 }
 
-func BenchmarkContains(b *testing.B) {
-	p := MustParse("//regions//item/*")
-	q := MustParse("/site/regions/namerica/item/quantity")
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		Contains(p, q)
-	}
-}
-
 func BenchmarkMatchPath(b *testing.B) {
 	m := Compile(MustParse("//regions//item/*"))
 	b.ReportAllocs()

@@ -1,0 +1,90 @@
+package pattern
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ID is a dense interned-pattern identifier. IDs are only meaningful
+// relative to the Interner that issued them; the zero Interner state
+// issues IDs from 0 upward in interning order.
+type ID int32
+
+// internEntry pairs an issued ID with its compiled matcher, so the
+// lock-free lookup resolves both in one load.
+type internEntry struct {
+	id ID
+	m  *Matcher
+}
+
+// Interner canonicalizes patterns to dense integer IDs and caches one
+// compiled Matcher per distinct pattern, so Compile never re-runs for a
+// pattern the process has already seen. It is safe for concurrent use;
+// the hot path (an already-interned pattern) is one lock-free map load
+// and allocates nothing.
+type Interner struct {
+	byStr sync.Map // pattern string -> *internEntry
+
+	mu sync.Mutex // serializes writers
+	ms atomic.Pointer[[]*Matcher]
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	in := &Interner{}
+	in.ms.Store(&[]*Matcher{})
+	return in
+}
+
+// Intern returns p's dense ID, assigning one on first sight.
+func (in *Interner) Intern(p Pattern) ID {
+	id, _ := in.intern(p)
+	return id
+}
+
+// InternMatcher returns p's dense ID and its cached compiled matcher.
+func (in *Interner) InternMatcher(p Pattern) (ID, *Matcher) {
+	return in.intern(p)
+}
+
+// Matcher returns the cached matcher for p (compiling on first sight).
+func (in *Interner) Matcher(p Pattern) *Matcher {
+	_, m := in.intern(p)
+	return m
+}
+
+// At returns the matcher for a previously issued ID.
+func (in *Interner) At(id ID) *Matcher {
+	return (*in.ms.Load())[id]
+}
+
+// Len returns the number of distinct patterns interned.
+func (in *Interner) Len() int {
+	return len(*in.ms.Load())
+}
+
+func (in *Interner) intern(p Pattern) (ID, *Matcher) {
+	key := p.String()
+	if e, ok := in.byStr.Load(key); ok {
+		ent := e.(*internEntry)
+		return ent.id, ent.m
+	}
+
+	m := Compile(p)
+	in.mu.Lock()
+	if e, ok := in.byStr.Load(key); ok { // lost the race
+		in.mu.Unlock()
+		ent := e.(*internEntry)
+		return ent.id, ent.m
+	}
+	// Publish the matcher slice append-only: readers holding the old
+	// header never index past their snapshot's length, so appending in
+	// place (or growing into a fresh array) is safe before the store.
+	old := *in.ms.Load()
+	next := append(old, m)
+	id := ID(len(old))
+	in.ms.Store(&next)
+	in.byStr.Store(key, &internEntry{id: id, m: m})
+	in.mu.Unlock()
+	return id, m
+}

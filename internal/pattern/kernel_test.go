@@ -1,0 +1,223 @@
+package pattern
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// overlapsReference is the original subset-product BFS over the symbolic
+// alphabet, kept as the oracle for the product-reachability Overlaps.
+func overlapsReference(p, q Pattern) bool {
+	if p.IsZero() || q.IsZero() {
+		return false
+	}
+	mp := Compile(p)
+	mq := Compile(q)
+	alpha := symbolicAlphabet(p, q)
+
+	type pair struct{ pset, qset uint64 }
+	pAcceptBit := uint64(1) << uint(len(p.Steps))
+	qAcceptBit := uint64(1) << uint(len(q.Steps))
+
+	start := pair{1, 1}
+	seen := map[pair]bool{start: true}
+	queue := []pair{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.pset&pAcceptBit != 0 && cur.qset&qAcceptBit != 0 {
+			return true
+		}
+		for _, sym := range alpha {
+			np := pair{mp.next(cur.pset, sym), mq.next(cur.qset, sym)}
+			if np.pset == 0 || np.qset == 0 {
+				continue
+			}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, np)
+			}
+		}
+	}
+	return false
+}
+
+// checkKernelAgainstReference asserts every kernel entry point agrees
+// with the reference implementations on one pattern pair.
+func checkKernelAgainstReference(t *testing.T, p, q Pattern) {
+	t.Helper()
+	wantC := containsSlow(p, q)
+	mp, mq := Compile(p), Compile(q)
+	if got := mp.Contains(mq); got != wantC {
+		t.Fatalf("Matcher.Contains(%q, %q) = %v, reference %v", p, q, got, wantC)
+	}
+	if r, ok := structuralContains(mp, mq); ok && r != wantC {
+		t.Fatalf("structuralContains(%q, %q) = %v, reference %v", p, q, r, wantC)
+	}
+	if got := Contains(p, q); got != wantC {
+		t.Fatalf("Contains(%q, %q) = %v, reference %v", p, q, got, wantC)
+	}
+	if got := ContainsCached(p, q); got != wantC {
+		t.Fatalf("ContainsCached(%q, %q) = %v, reference %v", p, q, got, wantC)
+	}
+	wantO := overlapsReference(p, q)
+	if got := Overlaps(p, q); got != wantO {
+		t.Fatalf("Overlaps(%q, %q) = %v, reference %v", p, q, got, wantO)
+	}
+	if got := OverlapsCached(p, q); got != wantO {
+		t.Fatalf("OverlapsCached(%q, %q) = %v, reference %v", p, q, got, wantO)
+	}
+	if wantC && !wantO {
+		t.Fatalf("Contains(%q, %q) without overlap", p, q)
+	}
+}
+
+// TestKernelMatchesReferenceRandom drives the differential check over a
+// large deterministic sample of random pattern pairs, including related
+// pairs (mutations and generalizations of the same pattern) that
+// exercise the structural fast paths far more often than independent
+// draws would.
+func TestKernelMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4000; i++ {
+		p := randomPattern(rng)
+		var q Pattern
+		switch i % 4 {
+		case 0:
+			q = randomPattern(rng)
+		case 1:
+			q = mutatePattern(rng, p)
+		case 2: // wildcard generalization, often contained
+			if g, ok := WildcardAt(p, rng.Intn(len(p.Steps))); ok {
+				q = g
+			} else {
+				q = p.Clone()
+			}
+		case 3: // axis relaxation
+			if g, ok := RelaxAxisAt(p, rng.Intn(len(p.Steps))); ok {
+				q = g
+			} else {
+				q = p.Clone()
+			}
+		}
+		checkKernelAgainstReference(t, p, q)
+		checkKernelAgainstReference(t, q, p)
+	}
+}
+
+// TestKernelDeepPatterns exercises the NFA search near the step bound,
+// where the pooled scratch is most stressed.
+func TestKernelDeepPatterns(t *testing.T) {
+	deep := "/a"
+	for i := 0; i < 55; i++ {
+		deep += "/a"
+	}
+	q := MustParse(deep)
+	if !Contains(MustParse("//a"), q) {
+		t.Fatal("//a should contain a deep chain of a's")
+	}
+	wide := MustParse("//a//a//a//a//a//a//a//a")
+	checkKernelAgainstReference(t, wide, q)
+	checkKernelAgainstReference(t, q, wide)
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	p := MustParse("/a/b/c")
+	q := MustParse("/a/b/c")
+	r := MustParse("/a/b/*")
+	id1, m1 := in.InternMatcher(p)
+	id2, m2 := in.InternMatcher(q)
+	if id1 != id2 || m1 != m2 {
+		t.Fatalf("equal patterns interned differently: %d/%p vs %d/%p", id1, m1, id2, m2)
+	}
+	id3 := in.Intern(r)
+	if id3 == id1 {
+		t.Fatalf("distinct patterns share ID %d", id1)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+	if in.At(id3).Pattern().String() != "/a/b/*" {
+		t.Fatalf("At(%d) = %q", id3, in.At(id3).Pattern())
+	}
+}
+
+func TestPairCacheBounded(t *testing.T) {
+	c := newPairCache()
+	for i := 0; i < 4*pairCacheCapacity; i++ {
+		c.put(ID(i), ID(i+1), i%2 == 0)
+	}
+	if n := c.len(); n > pairCacheCapacity {
+		t.Fatalf("cache grew to %d entries, capacity %d", n, pairCacheCapacity)
+	}
+	// Entries read back the value stored for their exact pair, or miss.
+	hits := 0
+	for i := 0; i < 4*pairCacheCapacity; i++ {
+		if v, ok := c.get(ID(i), ID(i+1)); ok {
+			hits++
+			if v != (i%2 == 0) {
+				t.Fatalf("pair (%d,%d): got %v want %v", i, i+1, v, i%2 == 0)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no pair survived in the cache")
+	}
+}
+
+func TestResetCaches(t *testing.T) {
+	p := MustParse("/reset/probe/a")
+	q := MustParse("/reset/probe/*")
+	ContainsCached(q, p)
+	OverlapsCached(q, p)
+	before := Stats()
+	if before.Interned == 0 || before.Contains.Size == 0 {
+		t.Fatalf("expected warm kernel, got %+v", before)
+	}
+	ResetCaches()
+	after := Stats()
+	if after.Interned != 0 || after.Contains.Size != 0 || after.Overlaps.Size != 0 {
+		t.Fatalf("ResetCaches left state behind: %+v", after)
+	}
+	// Counters are monotonic across resets.
+	if after.Contains.Misses < before.Contains.Misses {
+		t.Fatalf("miss counter went backwards: %d -> %d", before.Contains.Misses, after.Contains.Misses)
+	}
+	// The kernel still answers correctly after a reset.
+	if !ContainsCached(q, p) {
+		t.Fatal("ContainsCached wrong after reset")
+	}
+}
+
+// TestKernelSelfBounds drives more distinct patterns through the
+// process-wide interner than maxInternedPatterns and checks the kernel
+// swaps itself out instead of growing without limit.
+func TestKernelSelfBounds(t *testing.T) {
+	ResetCaches()
+	for i := 0; i <= maxInternedPatterns+16; i++ {
+		Interned(Pattern{Steps: []Step{
+			{Kind: TestElem, Name: "bound"},
+			{Kind: TestElem, Name: fmt.Sprintf("p%d", i)},
+		}})
+	}
+	if n := Stats().Interned; n >= maxInternedPatterns {
+		t.Fatalf("interner grew to %d patterns, bound %d", n, maxInternedPatterns)
+	}
+	ResetCaches()
+}
+
+func TestKernelStatsCount(t *testing.T) {
+	ResetCaches()
+	p := MustParse("/stats/probe/x")
+	q := MustParse("/stats/probe/*")
+	base := Stats()
+	ContainsCached(q, p)
+	ContainsCached(q, p)
+	st := Stats().Contains
+	if st.Misses-base.Contains.Misses != 1 || st.Hits-base.Contains.Hits != 1 {
+		t.Fatalf("want 1 miss + 1 hit, got Δmisses=%d Δhits=%d",
+			st.Misses-base.Contains.Misses, st.Hits-base.Contains.Hits)
+	}
+}

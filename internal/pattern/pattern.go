@@ -247,6 +247,16 @@ func (p Pattern) Clone() Pattern {
 	return Pattern{Steps: steps, str: p.str}
 }
 
+// Prefix returns the pattern made of p's first n steps, with the
+// canonical form precomputed so the result interns and memoizes without
+// re-rendering. It panics if n exceeds p's length; Prefix(0) is the
+// zero pattern.
+func (p Pattern) Prefix(n int) Pattern {
+	q := Pattern{Steps: p.Steps[:n:n]}
+	q.str = q.render()
+	return q
+}
+
 // WithStep returns a copy of p whose i-th step is replaced by st.
 func (p Pattern) WithStep(i int, st Step) Pattern {
 	q := p.Clone()

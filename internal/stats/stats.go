@@ -259,7 +259,7 @@ func (s *Stats) Matching(p pattern.Pattern) []*PathStat {
 	}
 	s.mu.Unlock()
 
-	m := pattern.Compile(p)
+	m := pattern.InternedMatcher(p)
 	var out []*PathStat
 	for _, path := range s.PathList() {
 		if m.MatchPath(path) {

@@ -29,7 +29,7 @@ func New(name string, p pattern.Pattern, t sqltype.Type) *Index {
 		Name:    name,
 		Pattern: p,
 		Type:    t,
-		matcher: pattern.Compile(p),
+		matcher: pattern.InternedMatcher(p),
 		tree:    NewBTree(DefaultOrder),
 		order:   DefaultOrder,
 	}
