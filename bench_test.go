@@ -119,6 +119,12 @@ func BenchmarkE13RuleAblation(b *testing.B) {
 	runExperiment(b, experiments.E13RuleAblation)
 }
 
+// BenchmarkE14StrategyPortfolio regenerates the strategy-portfolio
+// table (every registered strategy plus the race, shared search space).
+func BenchmarkE14StrategyPortfolio(b *testing.B) {
+	runExperiment(b, experiments.E14StrategyPortfolio)
+}
+
 // BenchmarkAdvisorEndToEnd measures one full Recommend call on the
 // XMark workload (the advisor-runtime series).
 func BenchmarkAdvisorEndToEnd(b *testing.B) {

@@ -18,7 +18,7 @@ import (
 
 func main() {
 	scaleFlag := flag.String("scale", "medium", "dataset scale: small or medium")
-	only := flag.String("only", "", "run a single experiment (E1..E12)")
+	only := flag.String("only", "", "run a single experiment (E1..E14)")
 	flag.Parse()
 
 	scale := experiments.Medium
@@ -53,6 +53,7 @@ func main() {
 		{"E11", experiments.E11AdvisorScalability},
 		{"E12", experiments.E12ParallelWhatIf},
 		{"E13", experiments.E13RuleAblation},
+		{"E14", experiments.E14StrategyPortfolio},
 	}
 	ran := 0
 	for _, e := range exps {

@@ -22,6 +22,7 @@
 //	evaluate <pattern>:<type>[,<pattern>:<type>...] :: <query text>
 //	whatif <pattern>:<type>[,<pattern>:<type>...] :: <workload-file>
 //	candidates <workload-file> [rules]
+//	search <workload-file> [budget-pages]
 //	help | quit
 package main
 
@@ -35,6 +36,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/candidate"
 	"repro/internal/catalog"
@@ -44,6 +46,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/pattern"
 	"repro/internal/querylang"
+	"repro/internal/search"
 	"repro/internal/sqltype"
 	"repro/internal/store"
 	"repro/internal/whatif"
@@ -51,12 +54,13 @@ import (
 )
 
 type shell struct {
-	st   *store.Store
-	cat  *catalog.Catalog
-	opt  *optimizer.Optimizer
-	what *whatif.Engine
-	ex   *executor.Executor
-	out  *bufio.Writer
+	st       *store.Store
+	cat      *catalog.Catalog
+	opt      *optimizer.Optimizer
+	what     *whatif.Engine
+	ex       *executor.Executor
+	out      *bufio.Writer
+	parallel int // what-if worker count (-parallel; 0 = GOMAXPROCS)
 }
 
 func main() {
@@ -113,9 +117,10 @@ func newShell(parallel int) *shell {
 		cat: cat,
 		opt: opt,
 		// The shell is long-lived; cap the cache like the advisor does.
-		what: whatif.NewEngine(svc, whatif.Options{Workers: parallel, MaxEntries: 1 << 16}),
-		ex:   executor.New(cat),
-		out:  bufio.NewWriter(os.Stdout),
+		what:     whatif.NewEngine(svc, whatif.Options{Workers: parallel, MaxEntries: 1 << 16}),
+		ex:       executor.New(cat),
+		out:      bufio.NewWriter(os.Stdout),
+		parallel: parallel,
 	}
 }
 
@@ -124,7 +129,7 @@ func (s *shell) run(line string) error {
 	rest = strings.TrimSpace(rest)
 	switch cmd {
 	case "help":
-		fmt.Fprintln(s.out, "commands: gen, load, ls, stats, create, drop, query, explain, enumerate, evaluate, whatif, candidates, quit")
+		fmt.Fprintln(s.out, "commands: gen, load, ls, stats, create, drop, query, explain, enumerate, evaluate, whatif, candidates, search, quit")
 		return nil
 	case "gen":
 		// Mutating commands invalidate memoized what-if costs: the
@@ -160,6 +165,8 @@ func (s *shell) run(line string) error {
 		return s.cmdWhatIf(rest)
 	case "candidates":
 		return s.cmdCandidates(rest)
+	case "search":
+		return s.cmdSearch(rest)
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -505,5 +512,55 @@ func (s *shell) cmdCandidates(rest string) error {
 	fmt.Fprintln(s.out, set.Stats.String())
 	fmt.Fprintln(s.out, pattern.Stats().String())
 	fmt.Fprint(s.out, set.DAG.Render())
+	return nil
+}
+
+// cmdSearch parses "<workload-file> [budget-pages]" and compares every
+// registered search strategy side-by-side on the workload: one advisor
+// prepares the candidate space once, then each strategy (including the
+// race portfolio) searches it at the same budget on the shared what-if
+// cache.
+func (s *shell) cmdSearch(rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("usage: search <workload-file> [budget-pages]")
+	}
+	text, err := os.ReadFile(fields[0])
+	if err != nil {
+		return err
+	}
+	w, err := workload.Parse(filepath.Base(fields[0]), string(text))
+	if err != nil {
+		return err
+	}
+	var budget int64
+	if len(fields) == 2 {
+		if budget, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad budget: %v", err)
+		}
+	}
+	ctx := context.Background()
+	opts := core.DefaultOptions()
+	opts.Parallelism = s.parallel
+	adv := core.New(s.cat, opts)
+	prep, err := adv.Prepare(ctx, w)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "%-17s %5s %8s %12s %7s %9s %6s %6s  %s\n",
+		"strategy", "#idx", "pages", "net benefit", "rounds", "time", "evals", "hit%", "notes")
+	for _, name := range search.Names() {
+		rec, err := prep.RecommendWith(ctx, core.SearchKind(name), budget)
+		if err != nil {
+			return err
+		}
+		note := ""
+		if rec.Search.Winner != "" {
+			note = "winner " + rec.Search.Winner
+		}
+		fmt.Fprintf(s.out, "%-17s %5d %8d %12.1f %7d %9v %6d %5.0f%%  %s\n",
+			name, len(rec.Config), rec.TotalPages, rec.NetBenefit, rec.Search.Rounds,
+			rec.Search.Elapsed.Round(time.Millisecond), rec.Cache.Evaluations, 100*rec.Cache.HitRate(), note)
+	}
 	return nil
 }

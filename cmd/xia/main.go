@@ -4,6 +4,7 @@
 // recommendation analysis.
 //
 //	xia -gen xmark:500:1 -workload data/xmark.workload -budget-kb 256 -search topdown
+//	xia -gen xmark:500:1 -workload data/xmark.workload -search race -trace-json
 //	xia -load auction=data/auction -workload data/xmark.workload -dag -trace
 //	xia -gen xmark:500:1 -workload data/xmark.workload -parallel 8 -cache-size 4096 -timeout 30s
 //	xia -gen xmark:500:1 -workload data/xmark.workload -gen-parallel 8 -rules lub,leaf,axis
@@ -27,6 +28,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/executor"
 	"repro/internal/optimizer"
+	"repro/internal/search"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -36,12 +38,13 @@ func main() {
 	load := flag.String("load", "", "load data: <collection>=<dir>[,<collection>=<dir>...]")
 	wpath := flag.String("workload", "", "workload file (required)")
 	budgetKB := flag.Int64("budget-kb", 0, "disk budget in KB (0 = unlimited)")
-	searchName := flag.String("search", "greedy", "search: greedy | topdown | greedy-basic")
+	searchName := flag.String("search", "greedy", "search strategy: "+strings.Join(search.Names(), " | "))
 	noGen := flag.Bool("no-generalize", false, "disable candidate generalization")
 	rules := flag.String("rules", "", "generalization rules: comma-separated lub,wildcard,leaf,axis,universal | all | none (default: paper rules)")
 	genParallel := flag.Int("gen-parallel", 0, "concurrent candidate enumerations (0 = GOMAXPROCS)")
 	showDAG := flag.Bool("dag", false, "print the candidate DAG")
 	showTrace := flag.Bool("trace", false, "print the search trace")
+	traceJSON := flag.Bool("trace-json", false, "print the structured search trace as JSON")
 	materialize := flag.Bool("materialize", false, "build recommended indexes and report actual execution times")
 	parallel := flag.Int("parallel", 0, "concurrent what-if evaluations (0 = GOMAXPROCS)")
 	cacheShards := flag.Int("cache-shards", 0, "what-if cache shard count (0 = default)")
@@ -99,6 +102,8 @@ func main() {
 	// lacks.
 	fmt.Printf("what-if engine: %d workers, %d cache misses (%.0f%% hit rate)\n",
 		adv.CostEngine().Workers(), rec.Cache.Misses, 100*rec.Cache.HitRate())
+	fmt.Println(rec.Kernel.String())
+	fmt.Println(rec.Search.String())
 	fmt.Println(rec.Gen.String())
 	if *showDAG {
 		fmt.Println()
@@ -109,6 +114,13 @@ func main() {
 		for _, line := range rec.Trace {
 			fmt.Println("  " + line)
 		}
+	}
+	if *traceJSON {
+		data, err := rec.TraceEvents.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nsearch trace (JSON):\n%s\n", data)
 	}
 	if *materialize {
 		if err := runMaterialized(cat, adv, rec, w); err != nil {

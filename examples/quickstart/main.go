@@ -34,9 +34,14 @@ func main() {
 	w.MustAddQuery(2, `for $i in collection("auction")/site/regions/africa/item where $i/quantity > 3 return $i/name`)
 	w.MustAddQuery(1, `for $i in collection("auction")/site/regions/samerica/item where $i/price < 40 return $i/name`)
 
-	// 3. Run the advisor.
+	// 3. Run the advisor. The "race" strategy runs every registered
+	// search strategy (greedy knapsack, the paper's greedy heuristics,
+	// top-down DAG descent) concurrently on the shared what-if cache and
+	// keeps the best configuration.
+	opts := core.DefaultOptions()
+	opts.Search = core.SearchRace
 	cat := catalog.New(st)
-	adv := core.New(cat, core.DefaultOptions())
+	adv := core.New(cat, opts)
 	rec, err := adv.Recommend(w)
 	if err != nil {
 		log.Fatal(err)
@@ -49,4 +54,13 @@ func main() {
 	fmt.Println(rec.Gen.String())
 	fmt.Println("\ncandidate DAG:")
 	fmt.Print(rec.DAG.Render())
+
+	// 5. How the search got there: per-strategy stats and the
+	// structured trace (every add/skip/reclaim step, with the what-if
+	// cache deltas it cost).
+	fmt.Println("\n" + rec.Search.String())
+	fmt.Println("search trace:")
+	for _, line := range rec.Trace {
+		fmt.Println("  " + line)
+	}
 }

@@ -32,11 +32,12 @@ func main() {
 	budget := base.TotalPages / 2
 	fmt.Printf("unconstrained recommendation: %d pages; using budget %d pages\n\n", base.TotalPages, budget)
 
-	// Compare the two search algorithms of §2.3.
+	// Compare the two search algorithms of §2.3, plus the race
+	// portfolio that runs every registered strategy concurrently.
 	var best *core.Recommendation
 	var bestCat *catalog.Catalog
 	var bestAdv *core.Advisor
-	for _, kind := range []core.SearchKind{core.SearchGreedyHeuristic, core.SearchTopDown} {
+	for _, kind := range []core.SearchKind{core.SearchGreedyHeuristic, core.SearchTopDown, core.SearchRace} {
 		opts := core.DefaultOptions()
 		opts.Search = kind
 		opts.DiskBudgetPages = budget
@@ -46,8 +47,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		label := string(kind)
+		if rec.Search.Winner != "" {
+			label += " -> " + rec.Search.Winner
+		}
 		fmt.Printf("[%s] %d indexes, %d pages, net benefit %.1f\n",
-			kind, len(rec.Config), rec.TotalPages, rec.NetBenefit)
+			label, len(rec.Config), rec.TotalPages, rec.NetBenefit)
 		for _, ddl := range rec.DDL {
 			fmt.Println("   ", ddl)
 		}

@@ -11,6 +11,8 @@ import (
 	"repro/internal/candidate"
 	"repro/internal/catalog"
 	"repro/internal/optimizer"
+	"repro/internal/pattern"
+	"repro/internal/search"
 	"repro/internal/whatif"
 	"repro/internal/workload"
 )
@@ -221,8 +223,15 @@ type Recommendation struct {
 	// enumerated/generalized/deduped/pruned counts, per-rule counters,
 	// and the pipeline wall time.
 	Gen candidate.Stats
-	// Trace records the search steps.
+	// TraceEvents is the structured search trace (typed events with
+	// round, action, candidate key, benefit, pages, and cache deltas).
+	TraceEvents search.Trace
+	// Trace is TraceEvents rendered to text, one line per event.
 	Trace []string
+	// Search holds the strategy's run stats: rounds, wall time, cache
+	// counter deltas, and — for the race portfolio — the winner and
+	// per-member stats.
+	Search search.Stats
 	// Evaluations counts per-query what-if evaluations issued during
 	// this run (cache misses only; hits cost nothing).
 	Evaluations int
@@ -233,6 +242,9 @@ type Recommendation struct {
 	// concurrently on the same Advisor (the evaluations themselves
 	// remain correct either way).
 	Cache whatif.Stats
+	// Kernel is the pattern containment kernel's counter delta for this
+	// run (interned patterns, contains/overlaps cache hits and misses).
+	Kernel pattern.KernelStats
 	// Elapsed is the advisor runtime.
 	Elapsed time.Duration
 }
@@ -248,93 +260,12 @@ func (a *Advisor) Recommend(w *workload.Workload) (*Recommendation, error) {
 func (a *Advisor) RecommendContext(ctx context.Context, w *workload.Workload) (*Recommendation, error) {
 	start := time.Now()
 	statsBefore := a.cost.Stats()
-	if len(w.Queries) == 0 {
-		return nil, fmt.Errorf("core: workload has no queries")
-	}
-	if err := a.ensureFreshCosts(w); err != nil {
-		return nil, err
-	}
-
-	pipe, err := a.pipeline()
+	kernelBefore := pattern.Stats()
+	p, err := a.Prepare(ctx, w)
 	if err != nil {
 		return nil, err
 	}
-	set, err := pipe.Run(ctx, w)
-	if err != nil {
-		return nil, err
-	}
-	basics, all, dag := set.Basics, set.All, set.DAG
-	ev, err := a.newEvaluator(ctx, w)
-	if err != nil {
-		return nil, err
-	}
-
-	var sr *searchResult
-	switch a.opts.Search {
-	case SearchTopDown:
-		sr, err = a.searchTopDown(dag, ev)
-	case SearchGreedyBasic:
-		sr, err = a.searchGreedyBasic(all, ev)
-	default:
-		sr, err = a.searchGreedyHeuristic(all, ev)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	rec := &Recommendation{
-		Config: sr.config,
-		Basics: basics,
-		DAG:    dag,
-		Gen:    set.Stats,
-		Trace:  sr.trace,
-	}
-	sort.Slice(rec.Config, func(i, j int) bool { return rec.Config[i].Key() < rec.Config[j].Key() })
-	rec.TotalPages = pagesOf(rec.Config)
-
-	finalEval, err := ev.eval(rec.Config)
-	if err != nil {
-		return nil, err
-	}
-	rec.QueryBenefit = finalEval.QueryBenefit
-	rec.UpdateCost = finalEval.UpdateCost
-	rec.NetBenefit = finalEval.Net
-
-	// Overtrained configuration: every basic candidate, ignoring the
-	// budget — the maximum achievable benefit for this workload.
-	overEval, err := ev.eval(basics)
-	if err != nil {
-		return nil, err
-	}
-	// Public names: XIA_IDX<i> in config order, used consistently in the
-	// DDL and the per-query analysis.
-	public := map[int]string{}
-	for i, c := range rec.Config {
-		name := fmt.Sprintf("XIA_IDX%d", i+1)
-		public[c.ID] = name
-		rec.DDL = append(rec.DDL, catalogDDL(name, c))
-	}
-	for qi, e := range w.Queries {
-		qa := QueryAnalysis{
-			ID:              e.Query.ID,
-			Text:            e.Query.Text,
-			Weight:          e.Weight,
-			CostNoIndexes:   ev.baseCost[qi],
-			CostRecommended: finalEval.queryCost[qi],
-			CostOvertrained: overEval.queryCost[qi],
-		}
-		for _, id := range finalEval.usedBy[qi] {
-			if name, ok := public[id]; ok {
-				qa.IndexesUsed = append(qa.IndexesUsed, name)
-			}
-		}
-		sort.Strings(qa.IndexesUsed)
-		rec.PerQuery = append(rec.PerQuery, qa)
-	}
-	rec.Cache = a.cost.Stats().Sub(statsBefore)
-	rec.Evaluations = int(rec.Cache.Evaluations)
-	rec.Elapsed = time.Since(start)
-	return rec, nil
+	return p.recommend(ctx, a.opts.Search, a.opts.DiskBudgetPages, start, statsBefore, kernelBefore)
 }
 
 func catalogDDL(name string, c *Candidate) string {

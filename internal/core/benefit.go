@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/pattern"
+	"repro/internal/search"
 	"repro/internal/sqltype"
 	"repro/internal/whatif"
 	"repro/internal/workload"
@@ -21,9 +22,8 @@ import (
 // costs. It is safe for concurrent use, so searches can evaluate many
 // configurations at once.
 type evaluator struct {
-	a   *Advisor
-	w   *workload.Workload
-	ctx context.Context
+	a *Advisor
+	w *workload.Workload
 
 	// bound scopes the engine to the workload's query list, with the
 	// workload fingerprint precomputed.
@@ -59,7 +59,7 @@ type configEval struct {
 }
 
 func (a *Advisor) newEvaluator(ctx context.Context, w *workload.Workload) (*evaluator, error) {
-	ev := &evaluator{a: a, w: w, ctx: ctx, bound: a.cost.Bind(w.QueryList()),
+	ev := &evaluator{a: a, w: w, bound: a.cost.Bind(w.QueryList()),
 		entryCount: map[[2]int]int{}, delOverlap: map[[2]int]bool{}}
 	// The empty configuration gives every query's document-scan cost.
 	base, err := ev.bound.EvaluateConfig(ctx, nil)
@@ -86,14 +86,14 @@ func (a *Advisor) newEvaluator(ctx context.Context, w *workload.Workload) (*eval
 // eval returns the evaluation of a configuration. The underlying
 // per-query costs are memoized by the whatif engine; the derivation here
 // is cheap (no optimizer calls).
-func (ev *evaluator) eval(cfg []*Candidate) (*configEval, error) {
+func (ev *evaluator) eval(ctx context.Context, cfg []*Candidate) (*configEval, error) {
 	defs := make([]*catalog.IndexDef, len(cfg))
 	defByName := make(map[string]int, len(cfg))
 	for i, c := range cfg {
 		defs[i] = c.Def
 		defByName[c.Def.Name] = c.ID
 	}
-	res, err := ev.bound.EvaluateConfig(ev.ctx, defs)
+	res, err := ev.bound.EvaluateConfig(ctx, defs)
 	if err != nil {
 		return nil, err
 	}
@@ -116,49 +116,30 @@ func (ev *evaluator) eval(cfg []*Candidate) (*configEval, error) {
 	return out, nil
 }
 
-// evalConfigs evaluates base+{c} for every candidate in cands
-// concurrently, bounded by the engine's worker count. Results are in
-// cands order.
-func (ev *evaluator) evalConfigs(base []*Candidate, cands []*Candidate) ([]*configEval, error) {
-	out := make([]*configEval, len(cands))
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	sem := make(chan struct{}, ev.a.cost.Workers())
-	for i, c := range cands {
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop {
-			break
-		}
-		cfg := make([]*Candidate, 0, len(base)+1)
-		cfg = append(append(cfg, base...), c)
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, cfg []*Candidate) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			e, err := ev.eval(cfg)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			out[i] = e
-		}(i, cfg)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+// searchEvaluator adapts the advisor's evaluator to the search layer's
+// Evaluator interface: configuration evaluations become the
+// workload-level aggregates strategies rank by. It is safe for
+// concurrent use (the evaluator is).
+type searchEvaluator struct {
+	ev *evaluator
 }
+
+// Evaluate prices the configuration for the search layer.
+func (s searchEvaluator) Evaluate(ctx context.Context, cfg []*Candidate) (*search.Eval, error) {
+	e, err := s.ev.eval(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &search.Eval{
+		QueryBenefit: e.QueryBenefit,
+		UpdateCost:   e.UpdateCost,
+		Net:          e.Net,
+		Used:         e.UsedSet,
+	}, nil
+}
+
+// Workers is the what-if engine's evaluation parallelism.
+func (s searchEvaluator) Workers() int { return s.ev.a.cost.Workers() }
 
 // updateCost charges each update statement for the index entries it
 // would add or remove in every configuration index (paper §1: "taking
@@ -271,18 +252,4 @@ func docEntriesFor(d *xmldoc.Document, c *Candidate) int {
 		return true
 	})
 	return n
-}
-
-// standalone returns each candidate's net benefit evaluated alone,
-// keyed by candidate ID. Candidates are evaluated concurrently.
-func (ev *evaluator) standalone(cands []*Candidate) (map[int]*configEval, error) {
-	evals, err := ev.evalConfigs(nil, cands)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[int]*configEval, len(cands))
-	for i, c := range cands {
-		out[c.ID] = evals[i]
-	}
-	return out, nil
 }

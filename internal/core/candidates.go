@@ -4,18 +4,22 @@
 // types) with the greatest estimated benefit that fits a disk budget.
 //
 // The pipeline follows Figure 1 of the paper, with each stage behind its
-// own package boundary:
+// own package boundary; this package is the thin orchestration layer
+// that wires them together and derives the recommendation report:
 //
 //  1. internal/candidate enumerates the basic candidate patterns for
 //     every workload query (§2.1, the Enumerate Indexes EXPLAIN mode via
 //     candidate.Source), generalizes them with the §2.2 rule engine, and
 //     arranges the result in a containment DAG.
-//  2. This package searches the candidate space for the recommended
-//     configuration under the disk budget — greedy with redundancy
-//     heuristics, or top-down over the DAG (§2.3).
+//  2. internal/search picks the recommended configuration under the
+//     disk budget (§2.3): pluggable registered strategies — plain
+//     greedy, greedy with redundancy heuristics, top-down DAG descent,
+//     and a concurrent portfolio race — over a Space this package
+//     assembles (candidates, DAG, budget, cost evaluator).
 //  3. internal/whatif prices every configuration the search considers
 //     via the Evaluate Indexes EXPLAIN mode, accounting for index
-//     interaction; update (maintenance) cost is charged here.
+//     interaction; update (maintenance) cost is charged by this
+//     package's evaluator on top of the engine's per-query costs.
 package core
 
 import (

@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/json"
 	"time"
+
+	"repro/internal/search"
 )
 
 // recommendationJSON is the flat, cycle-free export form of a
@@ -17,9 +19,13 @@ type recommendationJSON struct {
 	NetBenefit   float64         `json:"netBenefit"`
 	PerQuery     []QueryAnalysis `json:"perQuery"`
 	DAG          dagJSON         `json:"dag"`
-	Trace        []string        `json:"trace,omitempty"`
-	Evaluations  int             `json:"evaluations"`
-	ElapsedMS    int64           `json:"elapsedMs"`
+	// TraceEvents is the canonical trace export; the rendered text
+	// lines of Recommendation.Trace are a pure function of it and are
+	// not duplicated here.
+	TraceEvents search.Trace `json:"traceEvents,omitempty"`
+	Search      search.Stats `json:"search"`
+	Evaluations int          `json:"evaluations"`
+	ElapsedMS   int64        `json:"elapsedMs"`
 }
 
 type candidateJSON struct {
@@ -64,7 +70,8 @@ func (rec *Recommendation) MarshalJSON() ([]byte, error) {
 		UpdateCost:   rec.UpdateCost,
 		NetBenefit:   rec.NetBenefit,
 		PerQuery:     rec.PerQuery,
-		Trace:        rec.Trace,
+		TraceEvents:  rec.TraceEvents,
+		Search:       rec.Search,
 		Evaluations:  rec.Evaluations,
 		ElapsedMS:    int64(rec.Elapsed / time.Millisecond),
 	}

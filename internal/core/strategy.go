@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/candidate"
+	"repro/internal/pattern"
+	"repro/internal/search"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// SearchKind selects the configuration search algorithm (paper §2.3).
+// It is a thin alias over the internal/search registry names: any
+// registered strategy name is a valid SearchKind, and the constants
+// below only name the built-in ones. The zero value selects the
+// default strategy (greedy-heuristic).
+type SearchKind string
+
+const (
+	// SearchGreedyHeuristic is the paper's first algorithm: greedy
+	// knapsack augmented with the redundancy bitmap and interaction-
+	// aware re-evaluation.
+	SearchGreedyHeuristic SearchKind = "greedy-heuristic"
+	// SearchTopDown is the paper's second algorithm: root-to-leaf DAG
+	// descent that keeps the configuration as general as possible while
+	// shrinking it into the budget.
+	SearchTopDown SearchKind = "topdown"
+	// SearchGreedyBasic is the plain greedy 0/1-knapsack approximation
+	// of the relational DB2 advisor [8], kept as the baseline the paper
+	// compares its strategies against.
+	SearchGreedyBasic SearchKind = "greedy-basic"
+	// SearchRace is the portfolio strategy: every registered strategy
+	// races concurrently on the shared what-if cache and the best
+	// configuration wins.
+	SearchRace SearchKind = "race"
+)
+
+// String names the search kind (the default strategy for the zero
+// value).
+func (k SearchKind) String() string {
+	if k == "" {
+		return search.Default
+	}
+	return string(k)
+}
+
+// ParseSearchKind resolves a search strategy name or alias against the
+// search registry. Unknown names fail with an error enumerating the
+// valid strategies.
+func ParseSearchKind(s string) (SearchKind, error) {
+	name, err := search.Canonical(s)
+	if err != nil {
+		return "", err
+	}
+	return SearchKind(name), nil
+}
+
+// Prepared is one advisor run stopped just before configuration search:
+// the candidate pipeline has run and the what-if evaluator is bound to
+// the workload. Repeated searches over it — different strategies,
+// different budgets via the space's WithBudget — reuse the candidate
+// set and the warm what-if cache instead of re-running the whole
+// advisor, which is what budget sweeps and strategy comparisons want.
+//
+// A Prepared is valid until the underlying collections change; it does
+// not re-check catalog statistics versions the way Recommend does.
+type Prepared struct {
+	a     *Advisor
+	w     *workload.Workload
+	set   *candidate.Set
+	ev    *evaluator
+	space *search.Space
+}
+
+// Prepare runs the candidate pipeline on the workload and binds the
+// what-if evaluator, returning the reusable search setup.
+func (a *Advisor) Prepare(ctx context.Context, w *workload.Workload) (*Prepared, error) {
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("core: workload has no queries")
+	}
+	if err := a.ensureFreshCosts(w); err != nil {
+		return nil, err
+	}
+	pipe, err := a.pipeline()
+	if err != nil {
+		return nil, err
+	}
+	set, err := pipe.Run(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := a.newEvaluator(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	sp := &search.Space{
+		Candidates:       set.All,
+		DAG:              set.DAG,
+		BudgetPages:      a.opts.DiskBudgetPages,
+		Eval:             searchEvaluator{ev},
+		InteractionAware: a.opts.InteractionAware,
+		Counters: func() search.Counters {
+			s := a.cost.Stats()
+			return search.Counters{Hits: s.Hits, Misses: s.Misses, Evaluations: s.Evaluations}
+		},
+	}
+	return &Prepared{a: a, w: w, set: set, ev: ev, space: sp}, nil
+}
+
+// Space exposes the prepared search space for direct strategy runs
+// (budget sweeps over Space.WithBudget, custom registered strategies).
+func (p *Prepared) Space() *search.Space { return p.space }
+
+// RecommendWith runs one search strategy at one disk budget (0 =
+// unlimited) over the prepared space and assembles the full
+// recommendation. The run's cache/kernel counter windows and Elapsed
+// cover only this search, not the shared candidate generation.
+func (p *Prepared) RecommendWith(ctx context.Context, kind SearchKind, budgetPages int64) (*Recommendation, error) {
+	return p.recommend(ctx, kind, budgetPages, time.Now(), p.a.cost.Stats(), pattern.Stats())
+}
+
+// recommend searches the prepared space and derives the recommendation
+// output: DDL, per-query analysis, overtrained comparison, and the
+// counter windows against the given snapshots.
+func (p *Prepared) recommend(ctx context.Context, kind SearchKind, budgetPages int64,
+	start time.Time, statsBefore whatif.Stats, kernelBefore pattern.KernelStats) (*Recommendation, error) {
+	strat, err := search.Lookup(string(kind))
+	if err != nil {
+		return nil, err
+	}
+	res, err := strat.Search(ctx, p.space.WithBudget(budgetPages))
+	if err != nil {
+		return nil, err
+	}
+
+	rec := &Recommendation{
+		// The result's config may be shared with a portfolio member;
+		// copy before sorting.
+		Config:      append([]*Candidate(nil), res.Config...),
+		Basics:      p.set.Basics,
+		DAG:         p.set.DAG,
+		Gen:         p.set.Stats,
+		TraceEvents: res.Trace,
+		Trace:       res.Trace.Strings(),
+		Search:      res.Stats,
+	}
+	sort.Slice(rec.Config, func(i, j int) bool { return rec.Config[i].Key() < rec.Config[j].Key() })
+	rec.TotalPages = search.PagesOf(rec.Config)
+
+	finalEval, err := p.ev.eval(ctx, rec.Config)
+	if err != nil {
+		return nil, err
+	}
+	rec.QueryBenefit = finalEval.QueryBenefit
+	rec.UpdateCost = finalEval.UpdateCost
+	rec.NetBenefit = finalEval.Net
+
+	// Overtrained configuration: every basic candidate, ignoring the
+	// budget — the maximum achievable benefit for this workload.
+	overEval, err := p.ev.eval(ctx, p.set.Basics)
+	if err != nil {
+		return nil, err
+	}
+	// Public names: XIA_IDX<i> in config order, used consistently in the
+	// DDL and the per-query analysis.
+	public := map[int]string{}
+	for i, c := range rec.Config {
+		name := fmt.Sprintf("XIA_IDX%d", i+1)
+		public[c.ID] = name
+		rec.DDL = append(rec.DDL, catalogDDL(name, c))
+	}
+	for qi, e := range p.w.Queries {
+		qa := QueryAnalysis{
+			ID:              e.Query.ID,
+			Text:            e.Query.Text,
+			Weight:          e.Weight,
+			CostNoIndexes:   p.ev.baseCost[qi],
+			CostRecommended: finalEval.queryCost[qi],
+			CostOvertrained: overEval.queryCost[qi],
+		}
+		for _, id := range finalEval.usedBy[qi] {
+			if name, ok := public[id]; ok {
+				qa.IndexesUsed = append(qa.IndexesUsed, name)
+			}
+		}
+		sort.Strings(qa.IndexesUsed)
+		rec.PerQuery = append(rec.PerQuery, qa)
+	}
+	rec.Cache = p.a.cost.Stats().Sub(statsBefore)
+	rec.Evaluations = int(rec.Cache.Evaluations)
+	rec.Kernel = pattern.Stats().Sub(kernelBefore)
+	rec.Elapsed = time.Since(start)
+	return rec, nil
+}

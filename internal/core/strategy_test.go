@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
 
 	"repro/internal/datagen"
+	"repro/internal/search"
 )
 
 func TestParseSearchKind(t *testing.T) {
@@ -18,17 +20,31 @@ func TestParseSearchKind(t *testing.T) {
 		"greedy-basic":     SearchGreedyBasic,
 		"basic":            SearchGreedyBasic,
 		"knapsack":         SearchGreedyBasic,
+		"race":             SearchRace,
+		"portfolio":        SearchRace,
+		"":                 SearchGreedyHeuristic,
 	} {
 		got, err := ParseSearchKind(in)
 		if err != nil || got != want {
 			t.Errorf("ParseSearchKind(%q) = %v, %v", in, got, err)
 		}
 	}
-	if _, err := ParseSearchKind("simulated-annealing"); err == nil {
-		t.Error("unknown search should fail")
+	_, err := ParseSearchKind("simulated-annealing")
+	if err == nil {
+		t.Fatal("unknown search should fail")
+	}
+	// The error must enumerate the valid strategy names, not just echo
+	// the bad input.
+	for _, name := range search.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name valid strategy %q", err, name)
+		}
 	}
 	if SearchTopDown.String() != "topdown" || SearchGreedyBasic.String() != "greedy-basic" {
 		t.Error("search names broken")
+	}
+	if SearchKind("").String() != search.Default {
+		t.Error("zero SearchKind should name the default strategy")
 	}
 }
 
@@ -74,7 +90,7 @@ func TestTopDownPrefersGeneralIndexes(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.Search = SearchTopDown
-	opts.DiskBudgetPages = pagesOf(base.Config) // generous budget
+	opts.DiskBudgetPages = search.PagesOf(base.Config) // generous budget
 	top, err := New(cat, opts).Recommend(w)
 	if err != nil {
 		t.Fatal(err)
@@ -107,12 +123,81 @@ func TestTopDownTerminatesOnTinyBudget(t *testing.T) {
 	}
 }
 
-func TestRatioHandlesZeroPages(t *testing.T) {
-	if r := ratio(10, 0); r != 10 {
-		t.Errorf("ratio(10, 0) = %f", r)
+func TestRaceMatchesBestMember(t *testing.T) {
+	cat := xmarkFixture(t, 200)
+	w := datagen.XMarkWorkload(12, 15)
+
+	base, err := New(cat, DefaultOptions()).Recommend(w)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if r := ratio(-3, 2); r != -1.5 {
-		t.Errorf("ratio(-3, 2) = %f", r)
+	budget := base.TotalPages / 2
+	bestNet := -1.0
+	for _, kind := range []SearchKind{SearchGreedyBasic, SearchGreedyHeuristic, SearchTopDown} {
+		opts := DefaultOptions()
+		opts.Search = kind
+		opts.DiskBudgetPages = budget
+		rec, err := New(cat, opts).Recommend(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.NetBenefit > bestNet {
+			bestNet = rec.NetBenefit
+		}
+	}
+	opts := DefaultOptions()
+	opts.Search = SearchRace
+	opts.DiskBudgetPages = budget
+	rec, err := New(cat, opts).Recommend(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.NetBenefit+1e-6 < bestNet {
+		t.Errorf("race net %.3f worse than best member %.3f", rec.NetBenefit, bestNet)
+	}
+	if rec.Search.Winner == "" {
+		t.Error("race recorded no winner")
+	}
+	if len(rec.Search.Members) == 0 {
+		t.Error("race recorded no member stats")
+	}
+	if rec.TotalPages > budget {
+		t.Errorf("race config %d pages exceeds budget %d", rec.TotalPages, budget)
+	}
+}
+
+func TestPreparedBudgetSweepMatchesFullRuns(t *testing.T) {
+	cat := xmarkFixture(t, 200)
+	w := datagen.XMarkWorkload(10, 16)
+	ctx := context.Background()
+
+	a := New(cat, DefaultOptions())
+	prep, err := a.Prepare(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := prep.RecommendWith(ctx, SearchGreedyHeuristic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{0, full.TotalPages / 2, full.TotalPages / 4} {
+		swept, err := prep.RecommendWith(ctx, SearchGreedyHeuristic, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.DiskBudgetPages = budget
+		fresh, err := New(cat, opts).Recommend(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(swept.DDL, "\n") != strings.Join(fresh.DDL, "\n") {
+			t.Errorf("budget %d: swept recommendation differs from a full advisor run:\n%v\nvs\n%v",
+				budget, swept.DDL, fresh.DDL)
+		}
+		if swept.NetBenefit != fresh.NetBenefit {
+			t.Errorf("budget %d: net benefit %v != %v", budget, swept.NetBenefit, fresh.NetBenefit)
+		}
 	}
 }
 
@@ -157,7 +242,8 @@ func TestRecommendationJSONExport(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := string(data)
-	for _, want := range []string{`"ddl"`, `"dag"`, `"edges"`, `"netBenefit"`, `"perQuery"`, "/site/regions/*/item/quantity"} {
+	for _, want := range []string{`"ddl"`, `"dag"`, `"edges"`, `"netBenefit"`, `"perQuery"`,
+		`"traceEvents"`, `"search"`, `"strategy"`, "/site/regions/*/item/quantity"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("JSON missing %q", want)
 		}

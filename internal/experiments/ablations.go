@@ -83,7 +83,7 @@ func boolName(b bool) string {
 // own cost, which a DBA-facing tool must keep manageable.
 func E11AdvisorScalability(env *Env) (string, error) {
 	t := newTable("E11: advisor runtime vs workload size",
-		"#queries", "#basic", "#cands", "#idx", "evaluations", "cache hit%", "runtime")
+		"#queries", "#basic", "#cands", "#idx", "evaluations", "cache hit%", "kernel hit%", "runtime")
 	for _, n := range []int{5, 10, 20, 40, 80} {
 		w := datagen.XMarkWorkload(n, 1)
 		a := env.advisor(core.DefaultOptions())
@@ -92,7 +92,8 @@ func E11AdvisorScalability(env *Env) (string, error) {
 			return "", err
 		}
 		t.add(n, len(rec.Basics), len(rec.DAG.Nodes), len(rec.Config),
-			rec.Evaluations, 100*rec.Cache.HitRate(), rec.Elapsed.Round(time.Millisecond).String())
+			rec.Evaluations, 100*rec.Cache.HitRate(), 100*rec.Kernel.HitRate(),
+			rec.Elapsed.Round(time.Millisecond).String())
 	}
 	return t.String(), nil
 }
@@ -154,7 +155,7 @@ func E13RuleAblation(env *Env) (string, error) {
 }
 
 // All runs every experiment at the given scale, returning the reports in
-// order E1..E13.
+// order E1..E14.
 func All(s Scale) ([]string, error) {
 	env, err := BuildEnv(s)
 	if err != nil {
@@ -178,6 +179,7 @@ func All(s Scale) ([]string, error) {
 		{"E11", E11AdvisorScalability},
 		{"E12", E12ParallelWhatIf},
 		{"E13", E13RuleAblation},
+		{"E14", E14StrategyPortfolio},
 	}
 	var out []string
 	for _, e := range exps {

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment in DESIGN.md §4 (E1–E10), each regenerating the data
+// per experiment in DESIGN.md §4 (E1–E14), each regenerating the data
 // behind a demonstration step or figure of the paper as a printable
 // table. The cmd/experiments binary prints them all; the repository-root
 // benchmarks wrap each one.

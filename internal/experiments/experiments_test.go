@@ -220,6 +220,32 @@ func TestE11(t *testing.T) {
 	}
 }
 
+func TestE14(t *testing.T) {
+	rep, err := E14StrategyPortfolio(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"race", "greedy-heuristic", "topdown", "winner", "xmark", "tpox"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("missing %q in:\n%s", want, rep)
+		}
+	}
+	// The race rows must name a winner and match its net benefit: the
+	// portfolio is never worse than its best member.
+	lines := strings.Split(strings.TrimSpace(rep), "\n")
+	raceRows := 0
+	for _, ln := range lines {
+		f := strings.Fields(ln)
+		if len(f) < 10 || f[1] != "race" {
+			continue
+		}
+		raceRows++
+	}
+	if raceRows != 2 {
+		t.Errorf("expected 2 race rows (xmark, tpox), got %d:\n%s", raceRows, rep)
+	}
+}
+
 func TestAllRunsEveryExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -228,8 +254,8 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 13 {
-		t.Fatalf("All returned %d reports, want 13", len(reports))
+	if len(reports) != 14 {
+		t.Fatalf("All returned %d reports, want 14", len(reports))
 	}
 	for i, r := range reports {
 		if r == "" {

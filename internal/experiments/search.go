@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/search"
 	"repro/internal/workload"
 )
 
@@ -144,25 +146,31 @@ func E5UnseenWorkload(env *Env) (string, error) {
 // E6SearchStrategies compares the three search algorithms across a disk
 // budget sweep (paper §2.3): plain greedy [8] vs greedy with redundancy
 // heuristics vs top-down, reporting net benefit and how many recommended
-// indexes the optimizer never uses (redundant picks).
+// indexes the optimizer never uses (redundant picks). The advisor
+// prepares the candidate space once; every (budget, strategy) cell then
+// re-searches it via Space.WithBudget on the shared what-if cache
+// instead of re-running the whole advisor per budget point — visible in
+// the falling evals / rising hit-rate columns.
 func E6SearchStrategies(env *Env) (string, error) {
 	over, err := overtrainedPages(env, env.XMarkWorkload)
 	if err != nil {
 		return "", err
 	}
-	t := newTable("E6: search strategies across disk budgets (fractions of overtrained size)",
-		"budget%", "search", "#idx", "pages", "net benefit", "#unused", "evals")
+	ctx := context.Background()
+	a := env.advisor(core.DefaultOptions())
+	prep, err := a.Prepare(ctx, env.XMarkWorkload)
+	if err != nil {
+		return "", err
+	}
+	t := newTable("E6: search strategies across disk budgets (fractions of overtrained size; one shared candidate space + what-if cache)",
+		"budget%", "search", "#idx", "pages", "net benefit", "#unused", "evals", "cache hit%", "kernel hit%")
 	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
 		budget := int64(float64(over) * frac)
 		if budget < 1 {
 			budget = 1
 		}
 		for _, kind := range []core.SearchKind{core.SearchGreedyBasic, core.SearchGreedyHeuristic, core.SearchTopDown} {
-			opts := core.DefaultOptions()
-			opts.Search = kind
-			opts.DiskBudgetPages = budget
-			a := env.advisor(opts)
-			rec, err := a.Recommend(env.XMarkWorkload)
+			rec, err := prep.RecommendWith(ctx, kind, budget)
 			if err != nil {
 				return "", err
 			}
@@ -173,7 +181,51 @@ func E6SearchStrategies(env *Env) (string, error) {
 				}
 			}
 			unused := len(rec.Config) - len(used)
-			t.add(int(frac*100), kind.String(), len(rec.Config), rec.TotalPages, rec.NetBenefit, unused, rec.Evaluations)
+			t.add(int(frac*100), kind.String(), len(rec.Config), rec.TotalPages, rec.NetBenefit, unused,
+				rec.Evaluations, 100*rec.Cache.HitRate(), 100*rec.Kernel.HitRate())
+		}
+	}
+	return t.String(), nil
+}
+
+// E14StrategyPortfolio compares every registered strategy — including
+// the race portfolio — side-by-side at half the overtrained budget on
+// the XMark and TPoX workloads. Each workload prepares one candidate
+// space; the strategies (and the race's concurrent members) share its
+// what-if cache, so the portfolio's marginal cost over its most
+// expensive member is small, while its net benefit matches the best
+// member by construction.
+func E14StrategyPortfolio(env *Env) (string, error) {
+	ctx := context.Background()
+	t := newTable("E14: strategy portfolio — all registered strategies plus the race, half-overtrained budget",
+		"workload", "strategy", "#idx", "pages", "net benefit", "rounds", "search ms", "evals", "cache hit%", "winner")
+	for _, wl := range []struct {
+		name string
+		w    *workload.Workload
+	}{
+		{"xmark", env.XMarkWorkload},
+		{"tpox", env.TPoXWorkload},
+	} {
+		over, err := overtrainedPages(env, wl.w)
+		if err != nil {
+			return "", err
+		}
+		a := env.advisor(core.DefaultOptions())
+		prep, err := a.Prepare(ctx, wl.w)
+		if err != nil {
+			return "", err
+		}
+		budget := over / 2
+		if budget < 1 {
+			budget = 1
+		}
+		for _, name := range search.Names() {
+			rec, err := prep.RecommendWith(ctx, core.SearchKind(name), budget)
+			if err != nil {
+				return "", err
+			}
+			t.add(wl.name, name, len(rec.Config), rec.TotalPages, rec.NetBenefit, rec.Search.Rounds,
+				rec.Search.Elapsed.Milliseconds(), rec.Evaluations, 100*rec.Cache.HitRate(), rec.Search.Winner)
 		}
 	}
 	return t.String(), nil

@@ -189,6 +189,17 @@ func (s CacheStats) HitRate() float64 {
 	return 0
 }
 
+// Sub returns the hit/miss deltas since an earlier snapshot; Size and
+// Capacity describe the later snapshot (they are gauges, not counters).
+func (s CacheStats) Sub(earlier CacheStats) CacheStats {
+	return CacheStats{
+		Hits:     s.Hits - earlier.Hits,
+		Misses:   s.Misses - earlier.Misses,
+		Size:     s.Size,
+		Capacity: s.Capacity,
+	}
+}
+
 // KernelStats snapshot the containment kernel's counters: interned
 // pattern count plus per-operation cache stats, surfaced the same way
 // the what-if engine surfaces its configuration cache.
@@ -204,6 +215,27 @@ func (s KernelStats) String() string {
 		s.Interned,
 		s.Contains.Hits, s.Contains.Hits+s.Contains.Misses, 100*s.Contains.HitRate(),
 		s.Overlaps.Hits, s.Overlaps.Hits+s.Overlaps.Misses, 100*s.Overlaps.HitRate())
+}
+
+// Sub returns the counter deltas since an earlier snapshot: patterns
+// interned and cache hits/misses accrued in between (a per-run window
+// over the process-wide kernel counters).
+func (s KernelStats) Sub(earlier KernelStats) KernelStats {
+	return KernelStats{
+		Interned: s.Interned - earlier.Interned,
+		Contains: s.Contains.Sub(earlier.Contains),
+		Overlaps: s.Overlaps.Sub(earlier.Overlaps),
+	}
+}
+
+// HitRate is the combined contains+overlaps hit rate, or 0 when nothing
+// was looked up.
+func (s KernelStats) HitRate() float64 {
+	hits := s.Contains.Hits + s.Overlaps.Hits
+	if t := hits + s.Contains.Misses + s.Overlaps.Misses; t > 0 {
+		return float64(hits) / float64(t)
+	}
+	return 0
 }
 
 // Stats returns a snapshot of the default kernel's counters.

@@ -1,0 +1,75 @@
+package search_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/search"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSpace *search.Space
+	benchErr   error
+)
+
+// benchmarkSpace prepares one shared mid-budget search space over the
+// small XMark workload; strategies then run over the warm what-if
+// cache, so the benchmark isolates search overhead (ranking, rounds,
+// trace assembly) from cold optimizer calls.
+func benchmarkSpace(b *testing.B) *search.Space {
+	b.Helper()
+	benchOnce.Do(func() {
+		env, err := experiments.BuildEnv(experiments.Small)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		ctx := context.Background()
+		a := core.New(env.Cat, core.DefaultOptions())
+		prep, err := a.Prepare(ctx, env.XMarkWorkload)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		full, err := prep.RecommendWith(ctx, core.SearchGreedyHeuristic, 0)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchSpace = prep.Space().WithBudget(full.TotalPages / 2)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSpace
+}
+
+// BenchmarkSearch sweeps every registered strategy over the shared
+// space — the CI smoke step runs this under -race with -benchtime=1x so
+// strategy regressions (and data races between portfolio members) fail
+// fast.
+func BenchmarkSearch(b *testing.B) {
+	sp := benchmarkSpace(b)
+	for _, name := range search.Names() {
+		strat, err := search.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			ctx := context.Background()
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := strat.Search(ctx, sp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += res.Stats.Rounds
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package search
+
+import (
+	"context"
+
+	"repro/internal/candidate"
+)
+
+func init() {
+	Register(greedyBasic{})
+	Register(greedyHeuristic{})
+}
+
+// greedyBasic is the plain greedy 0/1-knapsack approximation of the
+// relational DB2 advisor [8], kept as the baseline the paper compares
+// its strategies against: rank candidates once by standalone net
+// benefit per page and add while the budget holds. No redundancy
+// detection, no re-evaluation — exactly the weaknesses the paper's
+// heuristics address.
+type greedyBasic struct{}
+
+func (greedyBasic) Name() string { return "greedy-basic" }
+
+func (g greedyBasic) Search(ctx context.Context, sp *Space) (*Result, error) {
+	tr := newTracer(g.Name(), sp)
+	alone, err := standalone(ctx, sp.Eval, sp.Candidates)
+	if err != nil {
+		return nil, err
+	}
+	order := rankByDensity(sp.Candidates, alone)
+	var config []*Candidate
+	var pages int64
+	for _, c := range order {
+		if alone[c.ID].Net <= 0 {
+			break
+		}
+		if !sp.Fits(pages + c.Pages()) {
+			tr.emit(TraceEvent{Action: ActionSkip, Candidate: c.Key(), Benefit: alone[c.ID].Net, Note: "over budget"})
+			continue
+		}
+		config = append(config, c)
+		pages += c.Pages()
+		tr.round++
+		tr.emit(TraceEvent{Action: ActionAdd, Candidate: c.Key(), Benefit: alone[c.ID].Net, Pages: pages})
+	}
+	return finish(ctx, sp, tr, config)
+}
+
+// greedyHeuristic is the paper's greedy search with heuristics:
+//
+//   - redundancy bitmap: a candidate whose covered workload patterns add
+//     nothing to the patterns already covered is skipped outright;
+//   - interaction-aware marginal benefit: each round re-evaluates the
+//     configuration with the candidate included (Evaluate Indexes), so
+//     overlapping benefits are not double-counted;
+//   - reclamation: after each addition, configuration members that the
+//     optimizer no longer uses for any workload query are dropped and
+//     their space reclaimed.
+type greedyHeuristic struct{}
+
+func (greedyHeuristic) Name() string { return "greedy-heuristic" }
+
+func (g greedyHeuristic) Search(ctx context.Context, sp *Space) (*Result, error) {
+	tr := newTracer(g.Name(), sp)
+	width := bitsetWidth(sp.Candidates)
+	var config []*Candidate
+	covered := candidate.NewBitset(width)
+
+	// Candidates with no standalone benefit are dropped up front. A
+	// candidate useless alone can in principle gain value inside an
+	// index-ANDed plan, but its standalone benefit is a tight upper
+	// bound in practice and evaluating every (config, candidate) pair
+	// without it would be quadratic in optimizer calls.
+	alone, err := standalone(ctx, sp.Eval, sp.Candidates)
+	if err != nil {
+		return nil, err
+	}
+	var positive []*Candidate
+	for _, c := range sp.Candidates {
+		if alone[c.ID].Net > 0 {
+			positive = append(positive, c)
+		}
+	}
+	// Consider high-density candidates first so the upper-bound pruning
+	// below fires early.
+	remaining := rankByDensity(positive, alone)
+
+	curEval, err := sp.Eval.Evaluate(ctx, nil)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pages := PagesOf(config)
+		// Eligible candidates, in standalone-density order (inherited
+		// from the sort above): budget and redundancy filters first.
+		var elig []*Candidate
+		for _, c := range remaining {
+			if !sp.Fits(pages + c.Pages()) {
+				continue
+			}
+			// Redundancy heuristic: covered patterns must grow.
+			if c.Covers().Subset(covered) {
+				continue
+			}
+			elig = append(elig, c)
+		}
+		var best *Candidate
+		var bestEval *Eval
+		bestRatio := 0.0
+		if sp.InteractionAware {
+			// Marginal re-evaluation, parallelized in worker-sized
+			// chunks down the density-ordered prefix. Upper-bound
+			// pruning applies exactly as in the sequential algorithm —
+			// the marginal benefit of c cannot meaningfully exceed its
+			// standalone benefit, so the scan stops at the first
+			// candidate whose standalone density is at or below the
+			// best found ratio. Chunk members past the cutoff were
+			// evaluated speculatively; their results are discarded, so
+			// the recommendation is independent of the worker count.
+			chunk := sp.Eval.Workers() // always >= 1
+			stopped := false
+			for start := 0; start < len(elig) && !stopped; start += chunk {
+				// Free prune at the batch boundary: if the cutoff
+				// already holds for the batch's densest candidate, no
+				// member can win — skip the speculative evaluations.
+				if best != nil && ratio(alone[elig[start].ID].Net, elig[start].Pages()) <= bestRatio {
+					break
+				}
+				end := start + chunk
+				if end > len(elig) {
+					end = len(elig)
+				}
+				batch := elig[start:end]
+				evals, err := evalEach(ctx, sp.Eval, config, batch)
+				if err != nil {
+					return nil, err
+				}
+				for i, c := range batch {
+					if best != nil && ratio(alone[c.ID].Net, c.Pages()) <= bestRatio {
+						stopped = true
+						break
+					}
+					marg := evals[i].Net - curEval.Net
+					if r := ratio(marg, c.Pages()); marg > 0 && (best == nil || r > bestRatio) {
+						best, bestEval, bestRatio = c, evals[i], r
+					}
+				}
+			}
+		} else {
+			for _, c := range elig {
+				if r := ratio(alone[c.ID].Net, c.Pages()); alone[c.ID].Net > 0 && (best == nil || r > bestRatio) {
+					best, bestRatio = c, r
+				}
+			}
+		}
+		if best == nil {
+			break
+		}
+		config = append(config, best)
+		covered.Or(best.Covers())
+		if bestEval == nil {
+			bestEval, err = sp.Eval.Evaluate(ctx, config)
+			if err != nil {
+				return nil, err
+			}
+		}
+		curEval = bestEval
+		tr.round++
+		tr.emit(TraceEvent{Action: ActionAdd, Candidate: best.Key(), Benefit: curEval.Net,
+			Pages: PagesOf(config), Covered: covered.Count(), Of: width})
+
+		// Reclaim space held by members no plan uses anymore.
+		pruned := config[:0:0]
+		for _, c := range config {
+			if curEval.Used[c.ID] {
+				pruned = append(pruned, c)
+			} else {
+				tr.emit(TraceEvent{Action: ActionReclaim, Candidate: c.Key(), Note: "unused under current config"})
+			}
+		}
+		if len(pruned) != len(config) {
+			config = pruned
+			curEval, err = sp.Eval.Evaluate(ctx, config)
+			if err != nil {
+				return nil, err
+			}
+			covered = candidate.NewBitset(width)
+			for _, c := range config {
+				covered.Or(c.Covers())
+			}
+		}
+		// Remove the chosen candidate from further consideration.
+		rest := remaining[:0:0]
+		for _, c := range remaining {
+			if c != best {
+				rest = append(rest, c)
+			}
+		}
+		remaining = rest
+	}
+	return finish(ctx, sp, tr, config)
+}

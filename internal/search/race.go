@@ -1,0 +1,123 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+func init() {
+	Register(race{})
+}
+
+// race is the portfolio strategy: it runs every other registered
+// strategy concurrently over the same space — same candidates, same
+// budget, same shared what-if cache, one shared context/deadline — and
+// returns the best-net configuration found. Because the members share
+// the memoizing what-if engine, their evaluations overlap heavily (the
+// standalone evaluations are common to all three paper strategies), so
+// the portfolio costs far less than the sum of its members run cold.
+//
+// The winner is deterministic: highest final net benefit, ties broken
+// by fewer pages, then by strategy name — so racing in parallel returns
+// the same configuration as running each member serially and picking by
+// the same rule.
+type race struct{}
+
+func (race) Name() string { return "race" }
+
+func (r race) Search(ctx context.Context, sp *Space) (*Result, error) {
+	tr := newTracer(r.Name(), sp)
+	var members []string
+	for _, name := range Names() {
+		if name != r.Name() {
+			members = append(members, name)
+		}
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("search: race has no member strategies")
+	}
+
+	results := make([]*Result, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, name := range members {
+		strat, err := Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(i int, strat Strategy) {
+			defer wg.Done()
+			results[i], errs[i] = strat.Search(ctx, sp)
+		}(i, strat)
+	}
+	wg.Wait()
+
+	// A cancelled or expired shared context aborts the whole portfolio:
+	// declaring a winner among the members that happened to finish first
+	// would silently violate both the caller's deadline request and the
+	// "never worse than the best member" guarantee (the unfinished
+	// members might have won). Any other member failure is equally
+	// fatal — the plain strategies propagate evaluation errors, and the
+	// race must stay equivalent to running its members serially.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, name := range members {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("search: race member %s: %w", name, errs[i])
+		}
+	}
+	var winner *Result
+	for i, name := range members {
+		res := results[i]
+		tr.round++
+		tr.emit(TraceEvent{Action: ActionMember, Benefit: res.Eval.Net, Pages: res.Pages,
+			Note: fmt.Sprintf("%s: %d indexes in %v", name, len(res.Config), res.Stats.Elapsed.Round(time.Millisecond))})
+		if better(res, winner) {
+			winner = res
+		}
+	}
+	tr.emit(TraceEvent{Action: ActionPick, Benefit: winner.Eval.Net, Pages: winner.Pages, Note: winner.Strategy})
+
+	stats := tr.stats()
+	stats.Winner = winner.Strategy
+	// Report the winner's search rounds, not the member count the
+	// tracer accumulated: in side-by-side tables the race row's
+	// "rounds" must be comparable to the plain strategies'.
+	stats.Rounds = winner.Stats.Rounds
+	for i := range members {
+		stats.Members = append(stats.Members, results[i].Stats)
+	}
+	// The portfolio's trace is the winner's full step-level trace
+	// followed by the per-member summaries and the pick, so `-trace`/
+	// `-trace-json` consumers still see how the chosen configuration
+	// was built; losers' step traces stay available on Members.
+	trace := append(append(Trace{}, winner.Trace...), tr.events...)
+	return &Result{
+		Strategy: r.Name(),
+		Config:   winner.Config,
+		Pages:    winner.Pages,
+		Eval:     winner.Eval,
+		Trace:    trace,
+		Stats:    stats,
+		Members:  results,
+	}, nil
+}
+
+// better reports whether a beats b: higher net, then fewer pages, then
+// lexicographically smaller strategy name (full determinism).
+func better(a, b *Result) bool {
+	if b == nil {
+		return true
+	}
+	if a.Eval.Net != b.Eval.Net {
+		return a.Eval.Net > b.Eval.Net
+	}
+	if a.Pages != b.Pages {
+		return a.Pages < b.Pages
+	}
+	return a.Strategy < b.Strategy
+}

@@ -1,0 +1,86 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Default is the strategy used when no name is given: the paper's
+// primary algorithm.
+const Default = "greedy-heuristic"
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Strategy{}
+	// aliases map accepted spellings to canonical registry names.
+	aliases = map[string]string{
+		"greedy":    "greedy-heuristic",
+		"heuristic": "greedy-heuristic",
+		"basic":     "greedy-basic",
+		"knapsack":  "greedy-basic",
+		"top-down":  "topdown",
+		"portfolio": "race",
+	}
+)
+
+// Register adds a strategy under its canonical name. It panics on a
+// duplicate or empty name — registration is an init-time programming
+// act, not a runtime input.
+func Register(s Strategy) {
+	name := s.Name()
+	if name == "" {
+		panic("search: Register with empty strategy name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("search: strategy %q registered twice", name))
+	}
+	registry[name] = s
+}
+
+// Names returns the sorted canonical names of every registered
+// strategy.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Canonical resolves a strategy name or alias to its canonical
+// registered name. The empty string resolves to Default. Unknown names
+// fail with an error that enumerates the valid strategies.
+func Canonical(name string) (string, error) {
+	if name == "" {
+		name = Default
+	}
+	if c, ok := aliases[name]; ok {
+		name = c
+	}
+	regMu.RLock()
+	_, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("search: unknown strategy %q (valid: %s)", name, strings.Join(Names(), ", "))
+	}
+	return name, nil
+}
+
+// Lookup resolves a strategy by name or alias (empty = Default). The
+// error of an unknown name enumerates the valid strategies.
+func Lookup(name string) (Strategy, error) {
+	canonical, err := Canonical(name)
+	if err != nil {
+		return nil, err
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[canonical], nil
+}

@@ -1,0 +1,224 @@
+package search
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+)
+
+func TestRegistryNamesAndAliases(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"greedy-basic", "greedy-heuristic", "topdown", "race"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing %q (have %v)", want, names)
+		}
+	}
+	for alias, canonical := range map[string]string{
+		"greedy": "greedy-heuristic", "heuristic": "greedy-heuristic",
+		"basic": "greedy-basic", "knapsack": "greedy-basic",
+		"top-down": "topdown", "portfolio": "race",
+		"": Default,
+	} {
+		got, err := Canonical(alias)
+		if err != nil || got != canonical {
+			t.Errorf("Canonical(%q) = %q, %v; want %q", alias, got, err, canonical)
+		}
+		s, err := Lookup(alias)
+		if err != nil || s.Name() != canonical {
+			t.Errorf("Lookup(%q) = %v, %v", alias, s, err)
+		}
+	}
+}
+
+func TestLookupErrorEnumeratesStrategies(t *testing.T) {
+	_, err := Lookup("simulated-annealing")
+	if err == nil {
+		t.Fatal("unknown strategy should fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "simulated-annealing") {
+		t.Errorf("error does not echo the bad name: %q", msg)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error does not enumerate %q: %q", name, msg)
+		}
+	}
+}
+
+func TestRatioHandlesZeroPages(t *testing.T) {
+	if r := ratio(10, 0); r != 10 {
+		t.Errorf("ratio(10, 0) = %f", r)
+	}
+	if r := ratio(-3, 2); r != -1.5 {
+		t.Errorf("ratio(-3, 2) = %f", r)
+	}
+}
+
+// testCand builds a synthetic candidate with the given pattern and size.
+func testCand(t *testing.T, id int, pat string, pages int64) *Candidate {
+	t.Helper()
+	p, err := pattern.Parse(pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Candidate{
+		ID:         id,
+		Collection: "c",
+		Pattern:    p,
+		Type:       sqltype.Double,
+		Def:        &catalog.IndexDef{Name: "T", Collection: "c", Pattern: p, Type: sqltype.Double, EstPages: pages, EstEntries: pages},
+	}
+}
+
+// flatEval prices every configuration as the sum of fixed per-candidate
+// nets, with every member used — a pure-knapsack oracle for ranking
+// tests.
+type flatEval struct {
+	net map[int]float64
+}
+
+func (f flatEval) Evaluate(_ context.Context, cfg []*Candidate) (*Eval, error) {
+	out := &Eval{Used: map[int]bool{}}
+	for _, c := range cfg {
+		out.Net += f.net[c.ID]
+		out.QueryBenefit += f.net[c.ID]
+		out.Used[c.ID] = true
+	}
+	return out, nil
+}
+
+func (f flatEval) Workers() int { return 2 }
+
+// TestGreedyRankingTiesAreDeterministic is the regression test for the
+// equal-density tie-break: candidates with identical benefit/page
+// ratios must rank by content (specificity, then key), independent of
+// input order and of ID assignment, so recommendations are byte-stable
+// across map-iteration order.
+func TestGreedyRankingTiesAreDeterministic(t *testing.T) {
+	// All four candidates have ratio 1.0; two pattern-specificity ties
+	// and a pure key tie among equals.
+	build := func(perm []int) ([]*Candidate, flatEval) {
+		cands := []*Candidate{
+			testCand(t, 0, "/a/b/x", 10),
+			testCand(t, 1, "//x", 10),
+			testCand(t, 2, "/a/*/x", 10),
+			testCand(t, 3, "/a/b/y", 20),
+		}
+		ev := flatEval{net: map[int]float64{0: 10, 1: 10, 2: 10, 3: 20}}
+		out := make([]*Candidate, len(cands))
+		for i, pi := range perm {
+			out[i] = cands[pi]
+		}
+		return out, ev
+	}
+	wantOrder := []string{"/a/b/x", "/a/b/y", "/a/*/x", "//x"}
+
+	rng := rand.New(rand.NewSource(7))
+	perm := []int{0, 1, 2, 3}
+	for trial := 0; trial < 20; trial++ {
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		cands, ev := build(perm)
+		alone, err := standalone(context.Background(), ev, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := rankByDensity(cands, alone)
+		for i, c := range order {
+			if c.Pattern.String() != wantOrder[i] {
+				t.Fatalf("perm %v: rank[%d] = %s, want %s", perm, i, c.Pattern, wantOrder[i])
+			}
+		}
+
+		// End to end through greedy-basic under a budget that forces the
+		// tie to pick exactly one of the equals.
+		strat, err := Lookup("greedy-basic")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := &Space{Candidates: cands, BudgetPages: 10, Eval: ev}
+		res, err := strat.Search(context.Background(), sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Config) != 1 || res.Config[0].Pattern.String() != "/a/b/x" {
+			t.Fatalf("perm %v: greedy-basic picked %v, want the most specific tie winner /a/b/x", perm, res.Config)
+		}
+	}
+}
+
+func TestTraceRendering(t *testing.T) {
+	tr := Trace{
+		{Round: 1, Action: ActionAdd, Candidate: "c|/a/b|dbl", Benefit: 12.5, Pages: 40,
+			Covered: 3, Of: 9, Cache: Counters{Hits: 5, Misses: 2, Evaluations: 18}},
+		{Round: 1, Action: ActionSkip, Candidate: "c|/a|dbl", Note: "over budget"},
+	}
+	lines := tr.Strings()
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, want := range []string{"add", "c|/a/b|dbl", "net=12.5", "pages=40", "covered=3/9", "[cache 5/2/18]"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("line %q missing %q", lines[0], want)
+		}
+	}
+	if !strings.Contains(lines[1], "(over budget)") {
+		t.Errorf("skip line %q missing note", lines[1])
+	}
+	data, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"action": "add"`, `"candidate": "c|/a/b|dbl"`, `"round": 1`, `"hits": 5`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// TestRaceAbortsOnDeadContext pins the portfolio's abort semantics: a
+// cancelled shared context must fail the race rather than crown a
+// winner among whichever members happened to finish.
+func TestRaceAbortsOnDeadContext(t *testing.T) {
+	cands := []*Candidate{testCand(t, 0, "/a/b", 1)}
+	ev := flatEval{net: map[int]float64{0: 5}}
+	sp := &Space{Candidates: cands, DAG: &DAG{Nodes: cands, Roots: cands}, Eval: ev}
+	strat, err := Lookup("race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := strat.Search(ctx, sp); err == nil {
+		t.Fatal("race on a cancelled context should fail, not return a partial winner")
+	}
+	// A live context over the same space succeeds.
+	if _, err := strat.Search(context.Background(), sp); err != nil {
+		t.Fatalf("race on a live context: %v", err)
+	}
+}
+
+func TestSpaceWithBudget(t *testing.T) {
+	base := &Space{BudgetPages: 0}
+	if !base.Fits(1 << 40) {
+		t.Error("unlimited budget should fit anything")
+	}
+	tight := base.WithBudget(10)
+	if tight.Fits(11) || !tight.Fits(10) {
+		t.Error("WithBudget(10) budget arithmetic broken")
+	}
+	if base.BudgetPages != 0 {
+		t.Error("WithBudget mutated the original space")
+	}
+}

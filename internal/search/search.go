@@ -1,0 +1,283 @@
+// Package search is the advisor's configuration-search layer (paper
+// §2.3): given a candidate Space — the enumerated/generalized candidate
+// set, its containment DAG, a disk budget, and a what-if cost Evaluator
+// — a Strategy picks the index configuration to recommend.
+//
+// Strategies are pluggable: the three paper algorithms (plain greedy
+// knapsack, greedy with redundancy/interaction heuristics, top-down DAG
+// descent) register themselves in a name-keyed registry, and a fourth
+// "race" strategy runs the whole portfolio concurrently on the shared
+// what-if cache and returns the best configuration. External strategies
+// can be added with Register without touching internal/core.
+//
+// Every search produces a structured trace (typed TraceEvents rendered
+// to text or JSON) and per-strategy stats (rounds, wall time, what-if
+// cache counter deltas), and a Space can be re-budgeted with WithBudget
+// so budget sweeps reuse the candidate set and the warm cache instead of
+// re-running the whole advisor per budget point.
+package search
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/candidate"
+)
+
+// Candidate is one candidate index in the search space, produced by the
+// internal/candidate pipeline.
+type Candidate = candidate.Candidate
+
+// DAG is the candidate containment DAG (paper §2.2, Figure 4).
+type DAG = candidate.DAG
+
+// Eval is one configuration evaluation as the search sees it: the
+// workload-level aggregates the strategies rank configurations by.
+type Eval struct {
+	// QueryBenefit is the weighted query benefit (no update cost).
+	QueryBenefit float64
+	// UpdateCost is the weighted maintenance cost of the configuration.
+	UpdateCost float64
+	// Net is QueryBenefit - UpdateCost.
+	Net float64
+	// Used is the set of candidate IDs used by at least one query plan.
+	Used map[int]bool
+}
+
+// Evaluator prices candidate configurations. Implementations must be
+// safe for concurrent use: strategies evaluate many configurations at
+// once, and the race strategy runs whole searches concurrently.
+type Evaluator interface {
+	// Evaluate returns the workload evaluation of the configuration.
+	Evaluate(ctx context.Context, cfg []*Candidate) (*Eval, error)
+	// Workers is the evaluator's useful concurrency (>= 1); strategies
+	// size their speculative evaluation batches by it.
+	Workers() int
+}
+
+// Counters are what-if cache counter snapshots (or deltas), threaded
+// into traces and stats so every search step carries its cache cost.
+type Counters struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evaluations int64 `json:"evaluations"`
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (c Counters) Sub(earlier Counters) Counters {
+	return Counters{
+		Hits:        c.Hits - earlier.Hits,
+		Misses:      c.Misses - earlier.Misses,
+		Evaluations: c.Evaluations - earlier.Evaluations,
+	}
+}
+
+// Space is one configuration-search problem: the candidate set to
+// choose from, the containment DAG over it, the disk budget, and the
+// cost evaluator. A Space is immutable once built; WithBudget derives
+// re-budgeted views that share the candidates and the evaluator (and
+// therefore the what-if cache), which is what makes budget sweeps and
+// portfolio racing cheap.
+type Space struct {
+	// Candidates is every candidate (basic and generalized), with dense
+	// IDs from 0 as produced by the candidate pipeline.
+	Candidates []*Candidate
+	// DAG is the containment DAG over Candidates (top-down search
+	// descends it root to leaf).
+	DAG *DAG
+	// BudgetPages bounds the configuration size; 0 means unlimited.
+	BudgetPages int64
+	// Eval prices configurations (the what-if service boundary).
+	Eval Evaluator
+	// InteractionAware makes greedy search re-evaluate configurations
+	// each round instead of trusting standalone benefits (§2.3 "index
+	// interaction").
+	InteractionAware bool
+	// Counters, when non-nil, snapshots the what-if engine's cache
+	// counters; traces and stats record deltas against it.
+	Counters func() Counters
+}
+
+// WithBudget returns a view of the space under a different disk budget,
+// sharing the candidates, DAG, and evaluator (and its cache).
+func (s *Space) WithBudget(pages int64) *Space {
+	c := *s
+	c.BudgetPages = pages
+	return &c
+}
+
+// Fits reports whether a configuration of the given size fits the
+// budget (0 = unlimited).
+func (s *Space) Fits(pages int64) bool {
+	return s.BudgetPages <= 0 || pages <= s.BudgetPages
+}
+
+// counters reads the cache counters, zero when no source is wired.
+func (s *Space) counters() Counters {
+	if s.Counters == nil {
+		return Counters{}
+	}
+	return s.Counters()
+}
+
+// Result is one strategy's chosen configuration plus its evaluation,
+// structured trace, and run stats.
+type Result struct {
+	// Strategy is the canonical name of the strategy that produced the
+	// result.
+	Strategy string
+	// Config is the chosen configuration.
+	Config []*Candidate
+	// Pages is the configuration size.
+	Pages int64
+	// Eval is the final evaluation of Config.
+	Eval *Eval
+	// Trace is the structured search trace.
+	Trace Trace
+	// Stats summarizes the run (rounds, wall time, cache deltas).
+	Stats Stats
+	// Members holds the per-member results of a portfolio run (the
+	// race strategy); nil for plain strategies.
+	Members []*Result
+}
+
+// Strategy is one pluggable configuration-search algorithm.
+type Strategy interface {
+	// Name is the canonical registry name.
+	Name() string
+	// Search picks a configuration from the space. Implementations
+	// must honor ctx cancellation and the space's budget.
+	Search(ctx context.Context, sp *Space) (*Result, error)
+}
+
+// PagesOf sums the candidates' estimated sizes.
+func PagesOf(cfg []*Candidate) int64 {
+	var t int64
+	for _, c := range cfg {
+		t += c.Pages()
+	}
+	return t
+}
+
+// ratio is the benefit density (benefit per page) used to rank
+// candidates; zero-page candidates count as one page.
+func ratio(benefit float64, pages int64) float64 {
+	if pages <= 0 {
+		pages = 1
+	}
+	return benefit / float64(pages)
+}
+
+// bitsetWidth is the basic-candidate count: the width of the covers
+// bitmaps (redundancy heuristic).
+func bitsetWidth(cands []*Candidate) int {
+	n := 0
+	for _, c := range cands {
+		if c.Basic {
+			n++
+		}
+	}
+	return n
+}
+
+// rankByDensity orders candidates by standalone net benefit per page,
+// densest first. Equal densities tie-break on candidate content only —
+// the more specific pattern first (fewest descendant axes, then fewest
+// wildcards: indexing `/a/*/x` is a safer bet than `//x` at the same
+// density), then the candidate key — never on ID assignment or input
+// order, so the ranking and every recommendation derived from it are
+// byte-stable across map iteration order and pipeline internals.
+func rankByDensity(cands []*Candidate, alone map[int]*Eval) []*Candidate {
+	order := append([]*Candidate(nil), cands...)
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		ri := ratio(alone[a.ID].Net, a.Pages())
+		rj := ratio(alone[b.ID].Net, b.Pages())
+		if ri != rj {
+			return ri > rj
+		}
+		if da, db := a.Pattern.DescendantCount(), b.Pattern.DescendantCount(); da != db {
+			return da < db
+		}
+		if wa, wb := a.Pattern.WildcardCount(), b.Pattern.WildcardCount(); wa != wb {
+			return wa < wb
+		}
+		return a.Key() < b.Key()
+	})
+	return order
+}
+
+// evalEach evaluates base+{c} for every candidate in cands
+// concurrently, bounded by the evaluator's worker count. Results are in
+// cands order.
+func evalEach(ctx context.Context, ev Evaluator, base, cands []*Candidate) ([]*Eval, error) {
+	out := make([]*Eval, len(cands))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, ev.Workers())
+	for i, c := range cands {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		cfg := make([]*Candidate, 0, len(base)+1)
+		cfg = append(append(cfg, base...), c)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, cfg []*Candidate) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			e, err := ev.Evaluate(ctx, cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			out[i] = e
+		}(i, cfg)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// standalone returns each candidate's evaluation alone, keyed by
+// candidate ID. Candidates are evaluated concurrently.
+func standalone(ctx context.Context, ev Evaluator, cands []*Candidate) (map[int]*Eval, error) {
+	evals, err := evalEach(ctx, ev, nil, cands)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]*Eval, len(cands))
+	for i, c := range cands {
+		out[c.ID] = evals[i]
+	}
+	return out, nil
+}
+
+// finish evaluates the final configuration and assembles the Result.
+func finish(ctx context.Context, sp *Space, tr *tracer, config []*Candidate) (*Result, error) {
+	final, err := sp.Eval.Evaluate(ctx, config)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Strategy: tr.strategy,
+		Config:   config,
+		Pages:    PagesOf(config),
+		Eval:     final,
+		Trace:    tr.events,
+		Stats:    tr.stats(),
+	}, nil
+}

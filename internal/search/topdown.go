@@ -1,0 +1,92 @@
+package search
+
+import (
+	"context"
+	"fmt"
+)
+
+func init() {
+	Register(topDown{})
+}
+
+// topDown is the paper's second algorithm: start from the DAG roots
+// (the most general candidates, maximal benefit but typically over
+// budget) and repeatedly replace the member with the worst benefit
+// density by its DAG children, until the configuration fits. Children
+// that bring no workload benefit are not added. If an over-budget member
+// has no children, it is dropped.
+type topDown struct{}
+
+func (topDown) Name() string { return "topdown" }
+
+func (t topDown) Search(ctx context.Context, sp *Space) (*Result, error) {
+	if sp.DAG == nil {
+		return nil, fmt.Errorf("search: topdown needs a containment DAG (Space.DAG is nil)")
+	}
+	tr := newTracer(t.Name(), sp)
+	alone, err := standalone(ctx, sp.Eval, sp.DAG.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	// Start configuration: all roots with positive standalone benefit.
+	var config []*Candidate
+	for _, r := range sp.DAG.Roots {
+		if alone[r.ID].Net > 0 {
+			config = append(config, r)
+		}
+	}
+	tr.emit(TraceEvent{Action: ActionStart, Pages: PagesOf(config),
+		Note: fmt.Sprintf("%d DAG roots", len(config))})
+
+	inConfig := map[int]bool{}
+	for _, c := range config {
+		inConfig[c.ID] = true
+	}
+	for !sp.Fits(PagesOf(config)) && len(config) > 0 {
+		// Victim: the member with the worst standalone net benefit per
+		// page (general, large, weakly used indexes go first).
+		vi := 0
+		worst := ratio(alone[config[0].ID].Net, config[0].Pages())
+		for i, c := range config[1:] {
+			if r := ratio(alone[c.ID].Net, c.Pages()); r < worst {
+				worst, vi = r, i+1
+			}
+		}
+		victim := config[vi]
+		config = append(config[:vi], config[vi+1:]...)
+		delete(inConfig, victim.ID)
+
+		added := 0
+		for _, ch := range victim.Children {
+			if inConfig[ch.ID] || alone[ch.ID].Net <= 0 {
+				continue
+			}
+			config = append(config, ch)
+			inConfig[ch.ID] = true
+			added++
+		}
+		tr.round++
+		tr.emit(TraceEvent{Action: ActionReplace, Candidate: victim.Key(), Pages: PagesOf(config),
+			Note: fmt.Sprintf("%d children added", added)})
+	}
+
+	// The children sum can still exceed the victim's size; the Fits
+	// loop handles that by further descents. Finally drop any members
+	// the optimizer does not use.
+	if len(config) > 0 {
+		full, err := sp.Eval.Evaluate(ctx, config)
+		if err != nil {
+			return nil, err
+		}
+		kept := config[:0:0]
+		for _, c := range config {
+			if full.Used[c.ID] {
+				kept = append(kept, c)
+			} else {
+				tr.emit(TraceEvent{Action: ActionDrop, Candidate: c.Key(), Note: "unused"})
+			}
+		}
+		config = kept
+	}
+	return finish(ctx, sp, tr, config)
+}

@@ -1,0 +1,167 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Action is the kind of one search step.
+type Action string
+
+const (
+	// ActionStart opens a search (top-down's initial root
+	// configuration).
+	ActionStart Action = "start"
+	// ActionAdd records a candidate joining the configuration.
+	ActionAdd Action = "add"
+	// ActionSkip records a candidate rejected this round (over budget,
+	// redundant coverage).
+	ActionSkip Action = "skip"
+	// ActionReclaim records a configuration member dropped because no
+	// plan uses it anymore (greedy-heuristic space reclamation).
+	ActionReclaim Action = "reclaim"
+	// ActionReplace records top-down swapping a victim for its DAG
+	// children.
+	ActionReplace Action = "replace"
+	// ActionDrop records top-down discarding an unused member in its
+	// final pass.
+	ActionDrop Action = "drop"
+	// ActionMember records one portfolio member finishing (race).
+	ActionMember Action = "member"
+	// ActionPick records the portfolio winner (race).
+	ActionPick Action = "pick"
+)
+
+// TraceEvent is one structured search step: which round, what happened,
+// to which candidate, and at what benefit/size — plus the cumulative
+// what-if cache deltas since the search started, so the cost of every
+// decision is visible.
+type TraceEvent struct {
+	// Round is the search round the event belongs to (1-based; 0 for
+	// events before the first round).
+	Round int `json:"round"`
+	// Action is the step kind.
+	Action Action `json:"action"`
+	// Candidate is the affected candidate's key (collection | pattern |
+	// type); empty for configuration-level events.
+	Candidate string `json:"candidate,omitempty"`
+	// Benefit is the net benefit attached to the step (standalone or
+	// configuration net, depending on the action).
+	Benefit float64 `json:"benefit,omitempty"`
+	// Pages is the configuration size after the step.
+	Pages int64 `json:"pages,omitempty"`
+	// Covered/Of are the covered basic-pattern counts (greedy
+	// redundancy bitmap) when the strategy tracks them.
+	Covered int `json:"covered,omitempty"`
+	Of      int `json:"of,omitempty"`
+	// Note carries strategy-specific detail ("over budget", a member
+	// strategy name, ...).
+	Note string `json:"note,omitempty"`
+	// Cache is the cumulative what-if counter delta since the search
+	// started (hits/misses/evaluations spent so far). The deltas are
+	// windows over the space's shared engine counters: exact when one
+	// search runs at a time, and inclusive of sibling traffic when
+	// searches share the engine concurrently (the race portfolio's
+	// members each observe the whole portfolio's work).
+	Cache Counters `json:"cache"`
+}
+
+// String renders the event as one text line.
+func (e TraceEvent) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "r%02d %-7s", e.Round, e.Action)
+	if e.Candidate != "" {
+		fmt.Fprintf(&sb, " %s", e.Candidate)
+	}
+	if e.Benefit != 0 {
+		fmt.Fprintf(&sb, " net=%.1f", e.Benefit)
+	}
+	if e.Pages != 0 {
+		fmt.Fprintf(&sb, " pages=%d", e.Pages)
+	}
+	if e.Of != 0 {
+		fmt.Fprintf(&sb, " covered=%d/%d", e.Covered, e.Of)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&sb, " (%s)", e.Note)
+	}
+	fmt.Fprintf(&sb, " [cache %d/%d/%d]", e.Cache.Hits, e.Cache.Misses, e.Cache.Evaluations)
+	return sb.String()
+}
+
+// Trace is a structured search trace.
+type Trace []TraceEvent
+
+// Strings renders the trace as one text line per event.
+func (t Trace) Strings() []string {
+	out := make([]string, len(t))
+	for i, e := range t {
+		out[i] = e.String()
+	}
+	return out
+}
+
+// String renders the whole trace as text.
+func (t Trace) String() string { return strings.Join(t.Strings(), "\n") }
+
+// JSON renders the trace as an indented JSON array.
+func (t Trace) JSON() ([]byte, error) { return json.MarshalIndent(t, "", "  ") }
+
+// Stats summarize one strategy run: rounds taken, wall time, and the
+// what-if cache counter deltas the search spent. For the race strategy,
+// Winner names the member whose configuration won and Members holds the
+// per-member stats; because the members run concurrently on the shared
+// engine, each member's Cache window includes its siblings' traffic —
+// compare member Elapsed/Rounds freely, but attribute cache counters to
+// the portfolio as a whole, not to individual members.
+type Stats struct {
+	Strategy string        `json:"strategy"`
+	Rounds   int           `json:"rounds"`
+	Elapsed  time.Duration `json:"elapsedNs"`
+	Cache    Counters      `json:"cache"`
+	Winner   string        `json:"winner,omitempty"`
+	Members  []Stats       `json:"members,omitempty"`
+}
+
+// String renders the stats as one line.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "search[%s]: %d rounds in %v; cache %d hits / %d misses / %d evaluations",
+		s.Strategy, s.Rounds, s.Elapsed.Round(time.Millisecond), s.Cache.Hits, s.Cache.Misses, s.Cache.Evaluations)
+	if s.Winner != "" {
+		fmt.Fprintf(&sb, "; winner %s", s.Winner)
+	}
+	return sb.String()
+}
+
+// tracer accumulates trace events and run stats for one search.
+type tracer struct {
+	strategy string
+	sp       *Space
+	start    time.Time
+	base     Counters
+	round    int
+	events   Trace
+}
+
+func newTracer(strategy string, sp *Space) *tracer {
+	return &tracer{strategy: strategy, sp: sp, start: time.Now(), base: sp.counters()}
+}
+
+// emit appends the event, stamping the round and cache deltas.
+func (t *tracer) emit(e TraceEvent) {
+	e.Round = t.round
+	e.Cache = t.sp.counters().Sub(t.base)
+	t.events = append(t.events, e)
+}
+
+func (t *tracer) stats() Stats {
+	return Stats{
+		Strategy: t.strategy,
+		Rounds:   t.round,
+		Elapsed:  time.Since(t.start),
+		Cache:    t.sp.counters().Sub(t.base),
+	}
+}
