@@ -1,0 +1,29 @@
+package advisor_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/apibaseline"
+)
+
+// TestExportedAPIBaseline enforces the committed exported-identifier
+// baseline from inside `go test`, so API drift fails the ordinary test
+// run, not just the dedicated CI step. Accept intentional changes with
+// `go run ./cmd/apicheck -update` from the repository root.
+func TestExportedAPIBaseline(t *testing.T) {
+	got, err := apibaseline.Surface([][2]string{
+		{"advisor", "."},
+		{"advisor/server", "./server"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("../api/v1.txt")
+	if err != nil {
+		t.Fatalf("%v (run `go run ./cmd/apicheck -update` from the repo root)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API drifted from api/v1.txt; if intentional, run `go run ./cmd/apicheck -update` and commit.\n--- current surface ---\n%s", got)
+	}
+}

@@ -1,0 +1,188 @@
+package advisor_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/advisor"
+	"repro/internal/candidate"
+	"repro/internal/catalog"
+	"repro/internal/pattern"
+	"repro/internal/search"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenResponse is a fully populated v1 response with every field set
+// to a fixed value, so the golden file pins the complete wire shape:
+// field names, nesting, and omitempty behavior.
+func goldenResponse() *advisor.RecommendResponse {
+	return &advisor.RecommendResponse{
+		APIVersion:  advisor.APIVersion,
+		Workload:    "golden",
+		Strategy:    "race",
+		BudgetPages: 64,
+		Indexes: []advisor.Index{{
+			Name:       "XIA_IDX1",
+			Collection: "auction",
+			Pattern:    "/site/regions/*/item/quantity",
+			Type:       "dbl",
+			Pages:      3,
+			Entries:    120,
+			DDL:        "CREATE INDEX XIA_IDX1 ON AUCTION(DOC) GENERATE KEY USING XMLPATTERN '/site/regions/*/item/quantity' AS SQL DOUBLE",
+		}},
+		TotalPages:   3,
+		QueryBenefit: 312.5,
+		UpdateCost:   12.25,
+		NetBenefit:   300.25,
+		PerQuery: []advisor.QueryCost{{
+			ID:              "Q1",
+			Text:            `for $i in collection("auction")/site/regions/namerica/item where $i/quantity > 5 return $i/name`,
+			Weight:          3,
+			CostNoIndexes:   208.75,
+			CostRecommended: 93.5,
+			CostOvertrained: 91.25,
+			IndexesUsed:     []string{"XIA_IDX1"},
+		}},
+		Candidates: advisor.CandidateSummary{
+			Basics:      4,
+			Total:       8,
+			BasicsPages: 10,
+			DAGNodes:    8,
+			DAGEdges:    6,
+			DAGRoots:    2,
+		},
+		Pipeline: advisor.PipelineStats{
+			Source:      "optimizer",
+			Enumerated:  4,
+			Basic:       4,
+			Generalized: 4,
+			Deduped:     0,
+			Pruned:      4,
+			Rules: []candidate.RuleStats{
+				{Name: "lub", Applied: 2, Pruned: 2},
+				{Name: "leaf", Applied: 2, Pruned: 2},
+			},
+			Matrix: candidate.MatrixStats{
+				Strata:     2,
+				Pairs:      24,
+				Structural: 24,
+				NFA:        0,
+				Edges:      6,
+				BuildWall:  11 * time.Microsecond,
+				ReduceWall: time.Microsecond,
+			},
+			Wall: time.Millisecond,
+		},
+		Search: advisor.SearchStats{
+			Strategy: "race",
+			Rounds:   4,
+			Elapsed:  5 * time.Millisecond,
+			Cache:    search.Counters{Hits: 28, Misses: 15, Evaluations: 45},
+			Winner:   "greedy-heuristic",
+			Members: []advisor.SearchStats{{
+				Strategy: "greedy-heuristic",
+				Rounds:   4,
+				Elapsed:  4 * time.Millisecond,
+				Cache:    search.Counters{Hits: 26, Misses: 13, Evaluations: 37},
+			}},
+		},
+		Cache: advisor.CacheStats{Hits: 29, Misses: 16, Evaluations: 48},
+		Kernel: advisor.KernelStats{
+			Interned: 12,
+			Contains: pattern.CacheStats{Hits: 40, Misses: 24, Size: 24, Capacity: 4096},
+			Overlaps: pattern.CacheStats{Hits: 2, Misses: 2, Size: 2, Capacity: 4096},
+		},
+		Evaluations: 48,
+		ElapsedMS:   7,
+		Trace: advisor.Trace{{
+			Round:     1,
+			Action:    "add",
+			Candidate: "auction|/site/regions/*/item/quantity|dbl",
+			Benefit:   300.25,
+			Pages:     3,
+			Covered:   1,
+			Of:        4,
+			Note:      "",
+			Strategy:  "greedy-heuristic",
+			Cache:     search.Counters{Hits: 10, Misses: 2, Evaluations: 6},
+		}},
+		DAGText: "auction dbl\n  /site/regions/*/item/quantity\n",
+	}
+}
+
+// TestRecommendResponseGolden pins the v1 JSON wire format. A failure
+// means the wire shape changed: either fix the regression, or — for an
+// intentional, versioned change — run `go test ./advisor -update` and
+// review the golden diff.
+func TestRecommendResponseGolden(t *testing.T) {
+	resp := goldenResponse()
+	got, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "recommend_response.v1.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./advisor -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("v1 wire format drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenCoversLiveResponse checks the golden literal stays honest:
+// a real recommendation marshals to the same JSON field set (no new
+// fields sneak into the wire unpinned). Volatile values are not
+// compared — only the key structure.
+func TestGoldenCoversLiveResponse(t *testing.T) {
+	env, workloads := testWorkloads(t)
+	adv, err := advisor.New(catalog.New(env.Store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := adv.Recommend(context.Background(), workloads["paper"],
+		advisor.RecommendRequest{IncludeTrace: true, IncludeDAG: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveKeys := topLevelKeys(t, live)
+	goldenKeys := topLevelKeys(t, goldenResponse())
+	for k := range liveKeys {
+		if !goldenKeys[k] {
+			t.Errorf("live response has top-level field %q missing from the golden literal", k)
+		}
+	}
+}
+
+func topLevelKeys(t *testing.T, v any) map[string]bool {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package advisor
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/candidate"
+	"repro/internal/core"
+	"repro/internal/search"
+	"repro/internal/store"
+)
+
+// ErrInvalidOption is the sentinel every option-validation failure
+// wraps; match with errors.Is.
+var ErrInvalidOption = errors.New("advisor: invalid option")
+
+// OptionError reports one invalid option value. It unwraps to
+// ErrInvalidOption.
+type OptionError struct {
+	// Option names the offending option constructor, e.g.
+	// "WithBudgetPages".
+	Option string
+	// Value is the rejected value.
+	Value any
+	// Reason says what a valid value looks like.
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("advisor: %s(%v): %s", e.Option, e.Value, e.Reason)
+}
+
+func (e *OptionError) Unwrap() error { return ErrInvalidOption }
+
+// config is the advisor's resolved configuration: the core options plus
+// the facade-level request defaults.
+type config struct {
+	core     core.Options
+	deadline time.Duration
+}
+
+func defaultConfig() config {
+	return config{core: core.DefaultOptions()}
+}
+
+// Option configures an Advisor. Options record values; New validates
+// the assembled configuration in one place.
+type Option func(*config)
+
+// WithBudgetPages sets the default disk budget in pages (0 =
+// unlimited); individual requests may override it.
+func WithBudgetPages(pages int64) Option {
+	return func(c *config) { c.core.DiskBudgetPages = pages }
+}
+
+// WithBudgetKB sets the default disk budget in kilobytes, converted to
+// pages (rounding up to one page for any positive budget).
+func WithBudgetKB(kb int64) Option {
+	return func(c *config) { c.core.DiskBudgetPages = budgetKBToPages(kb) }
+}
+
+// budgetKBToPages converts a KB budget to pages; any positive budget is
+// at least one page, and non-positive means unlimited.
+func budgetKBToPages(kb int64) int64 {
+	if kb <= 0 {
+		return kb
+	}
+	pages := (kb * 1024) / store.DefaultPageSize
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
+// WithStrategy sets the default search strategy by name or alias
+// ("greedy-heuristic", "topdown", "race", ...); individual requests may
+// override it. See Strategies for the valid names.
+func WithStrategy(name string) Option {
+	return func(c *config) { c.core.Search = core.SearchKind(name) }
+}
+
+// WithGeneralize toggles the candidate generalization phase (§2.2).
+func WithGeneralize(on bool) Option {
+	return func(c *config) { c.core.Generalize = on }
+}
+
+// WithRules replaces the default generalization rule set with a
+// comma-separated spec ("lub,leaf,axis", "all", "none"). The empty
+// string keeps the paper's default rules.
+func WithRules(spec string) Option {
+	return func(c *config) { c.core.Rules = spec }
+}
+
+// WithMaxCandidates caps the expanded candidate set (0 = the default
+// cap).
+func WithMaxCandidates(n int) Option {
+	return func(c *config) { c.core.MaxCandidates = n }
+}
+
+// WithMinSharedSteps sets the minimum number of shared concrete steps
+// two patterns need before pairwise generalization applies.
+func WithMinSharedSteps(n int) Option {
+	return func(c *config) { c.core.MinSharedSteps = n }
+}
+
+// WithInteractionAware toggles interaction-aware greedy search (§2.3):
+// re-evaluate configurations each round instead of trusting standalone
+// benefits.
+func WithInteractionAware(on bool) Option {
+	return func(c *config) { c.core.InteractionAware = on }
+}
+
+// WithSyntacticEnumeration switches candidate enumeration from the
+// optimizer-coupled Enumerate Indexes EXPLAIN mode to the loosely
+// coupled syntactic baseline (the paper's coupling ablation).
+func WithSyntacticEnumeration(on bool) Option {
+	return func(c *config) {
+		if on {
+			c.core.Enumeration = core.EnumSyntactic
+		} else {
+			c.core.Enumeration = core.EnumOptimizer
+		}
+	}
+}
+
+// WithIncludeUniversal adds the universal patterns (//* and //@*) as
+// DAG roots.
+func WithIncludeUniversal(on bool) Option {
+	return func(c *config) { c.core.IncludeUniversal = on }
+}
+
+// WithRelaxAxes enables the optional axis-relaxation rule
+// (/a/b -> /a//b).
+func WithRelaxAxes(on bool) Option {
+	return func(c *config) { c.core.RelaxAxes = on }
+}
+
+// WithParallelism bounds concurrent what-if query evaluations (0 =
+// GOMAXPROCS). Recommendations are identical at every worker count.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.core.Parallelism = n }
+}
+
+// WithGenParallelism bounds concurrent per-query candidate enumerations
+// (0 = GOMAXPROCS). The candidate set is identical at every level.
+func WithGenParallelism(n int) Option {
+	return func(c *config) { c.core.GenParallelism = n }
+}
+
+// WithCacheShards sets the what-if cache shard count (0 = default).
+func WithCacheShards(n int) Option {
+	return func(c *config) { c.core.CacheShards = n }
+}
+
+// WithCacheSize caps the number of memoized configuration evaluations
+// (0 = the default cap, negative = unlimited).
+func WithCacheSize(n int) Option {
+	return func(c *config) { c.core.CacheSize = n }
+}
+
+// WithDeadline bounds every recommendation that does not carry its own
+// request timeout, and turns on anytime mode: when the deadline
+// expires, the race portfolio returns the best configuration any
+// member finished instead of failing (requests that still have no
+// finished member fail with the context error).
+func WithDeadline(d time.Duration) Option {
+	return func(c *config) {
+		c.deadline = d
+		c.core.Anytime = true
+	}
+}
+
+// WithAnytime toggles anytime mode independently of WithDeadline, for
+// callers that put deadlines on the context themselves.
+func WithAnytime(on bool) Option {
+	return func(c *config) { c.core.Anytime = on }
+}
+
+// validate is the single defaulting/validation path for advisor
+// configuration, replacing per-command flag checks. It normalizes the
+// strategy to its canonical name.
+func (c *config) validate() error {
+	if c.core.DiskBudgetPages < 0 {
+		return &OptionError{Option: "WithBudgetPages", Value: c.core.DiskBudgetPages,
+			Reason: "disk budget must be >= 0 (0 = unlimited)"}
+	}
+	canon, err := search.Canonical(string(c.core.Search))
+	if err != nil {
+		return &OptionError{Option: "WithStrategy", Value: string(c.core.Search), Reason: err.Error()}
+	}
+	c.core.Search = core.SearchKind(canon)
+	if c.core.Rules != "" {
+		if _, err := candidate.ParseRules(c.core.Rules); err != nil {
+			return &OptionError{Option: "WithRules", Value: c.core.Rules, Reason: err.Error()}
+		}
+	}
+	if c.core.MaxCandidates < 0 {
+		return &OptionError{Option: "WithMaxCandidates", Value: c.core.MaxCandidates,
+			Reason: "candidate cap must be >= 0 (0 = default)"}
+	}
+	if c.core.MinSharedSteps < 0 {
+		return &OptionError{Option: "WithMinSharedSteps", Value: c.core.MinSharedSteps,
+			Reason: "shared-step threshold must be >= 0"}
+	}
+	if c.core.Parallelism < 0 {
+		return &OptionError{Option: "WithParallelism", Value: c.core.Parallelism,
+			Reason: "worker count must be >= 0 (0 = GOMAXPROCS)"}
+	}
+	if c.core.GenParallelism < 0 {
+		return &OptionError{Option: "WithGenParallelism", Value: c.core.GenParallelism,
+			Reason: "worker count must be >= 0 (0 = GOMAXPROCS)"}
+	}
+	if c.core.CacheShards < 0 {
+		return &OptionError{Option: "WithCacheShards", Value: c.core.CacheShards,
+			Reason: "shard count must be >= 0 (0 = default)"}
+	}
+	if c.deadline < 0 {
+		return &OptionError{Option: "WithDeadline", Value: c.deadline,
+			Reason: "deadline must be >= 0 (0 = none)"}
+	}
+	return nil
+}

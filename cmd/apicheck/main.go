@@ -1,0 +1,104 @@
+// Command apicheck diffs the exported API surface of the public
+// advisor packages against the committed baseline in api/v1.txt — the
+// CI gate that makes API changes deliberate. Exit status 1 means the
+// surface drifted; run with -update (and commit the diff) to accept an
+// intentional change.
+//
+//	go run ./cmd/apicheck            # check against api/v1.txt
+//	go run ./cmd/apicheck -update    # rewrite the baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/apibaseline"
+)
+
+func main() {
+	baseline := flag.String("baseline", "api/v1.txt", "baseline file to diff against")
+	update := flag.Bool("update", false, "rewrite the baseline instead of checking")
+	flag.Parse()
+
+	got, err := apibaseline.Surface([][2]string{
+		{"advisor", "advisor"},
+		{"advisor/server", "advisor/server"},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(2)
+	}
+	if *update {
+		if dir := filepath.Dir(*baseline); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "apicheck:", err)
+				os.Exit(2)
+			}
+		}
+		if err := os.WriteFile(*baseline, []byte(got), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("apicheck: wrote %s\n", *baseline)
+		return
+	}
+	want, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: %v (run `go run ./cmd/apicheck -update` to create it)\n", err)
+		os.Exit(2)
+	}
+	if got == string(want) {
+		fmt.Printf("apicheck: exported API matches %s\n", *baseline)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "apicheck: exported API drifted from %s\n", *baseline)
+	fmt.Fprintln(os.Stderr, diff(string(want), got))
+	fmt.Fprintln(os.Stderr, "apicheck: if the change is intentional, run `go run ./cmd/apicheck -update` and commit the result")
+	os.Exit(1)
+}
+
+// diff renders a minimal line diff: baseline-only lines as '-', new
+// lines as '+'.
+func diff(want, got string) string {
+	wantSet := toSet(want)
+	gotSet := toSet(got)
+	var out string
+	for _, line := range splitLines(want) {
+		if !gotSet[line] {
+			out += "  - " + line + "\n"
+		}
+	}
+	for _, line := range splitLines(got) {
+		if !wantSet[line] {
+			out += "  + " + line + "\n"
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func toSet(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, line := range splitLines(s) {
+		out[line] = true
+	}
+	return out
+}

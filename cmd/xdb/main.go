@@ -38,15 +38,14 @@ import (
 	"strings"
 	"time"
 
+	"repro/advisor"
 	"repro/internal/candidate"
 	"repro/internal/catalog"
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/executor"
 	"repro/internal/optimizer"
 	"repro/internal/pattern"
 	"repro/internal/querylang"
-	"repro/internal/search"
 	"repro/internal/sqltype"
 	"repro/internal/store"
 	"repro/internal/whatif"
@@ -499,11 +498,10 @@ func (s *shell) cmdCandidates(rest string) error {
 	}
 	// Mirror the advisor's default thresholds so the dump shows the
 	// candidate space Recommend actually searches.
-	defaults := core.DefaultOptions()
 	pipe := candidate.New(s.cat, &candidate.OptimizerSource{Opt: s.opt}, candidate.Options{
 		Rules:          rules,
-		MinSharedSteps: defaults.MinSharedSteps,
-		MaxCandidates:  defaults.MaxCandidates,
+		MinSharedSteps: candidate.DefaultMinSharedSteps,
+		MaxCandidates:  candidate.DefaultMaxCandidates,
 	})
 	set, err := pipe.Run(context.Background(), w)
 	if err != nil {
@@ -540,27 +538,29 @@ func (s *shell) cmdSearch(rest string) error {
 		}
 	}
 	ctx := context.Background()
-	opts := core.DefaultOptions()
-	opts.Parallelism = s.parallel
-	adv := core.New(s.cat, opts)
-	prep, err := adv.Prepare(ctx, w)
+	adv, err := advisor.New(s.cat, advisor.WithParallelism(s.parallel))
 	if err != nil {
 		return err
 	}
+	sess, err := adv.Open(ctx, w)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 	fmt.Fprintf(s.out, "%-17s %5s %8s %12s %7s %9s %6s %6s  %s\n",
 		"strategy", "#idx", "pages", "net benefit", "rounds", "time", "evals", "hit%", "notes")
-	for _, name := range search.Names() {
-		rec, err := prep.RecommendWith(ctx, core.SearchKind(name), budget)
+	for _, name := range advisor.Strategies() {
+		resp, err := sess.Recommend(ctx, advisor.RecommendRequest{Strategy: name, BudgetPages: budget})
 		if err != nil {
 			return err
 		}
 		note := ""
-		if rec.Search.Winner != "" {
-			note = "winner " + rec.Search.Winner
+		if resp.Search.Winner != "" {
+			note = "winner " + resp.Search.Winner
 		}
 		fmt.Fprintf(s.out, "%-17s %5d %8d %12.1f %7d %9v %6d %5.0f%%  %s\n",
-			name, len(rec.Config), rec.TotalPages, rec.NetBenefit, rec.Search.Rounds,
-			rec.Search.Elapsed.Round(time.Millisecond), rec.Cache.Evaluations, 100*rec.Cache.HitRate(), note)
+			name, len(resp.Indexes), resp.TotalPages, resp.NetBenefit, resp.Search.Rounds,
+			resp.Search.Elapsed.Round(time.Millisecond), resp.Cache.Evaluations, 100*resp.Cache.HitRate(), note)
 	}
 	return nil
 }

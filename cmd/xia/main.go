@@ -1,7 +1,8 @@
 // Command xia is the XML Index Advisor CLI: given a database (generated
 // or loaded from a directory of XML files) and a workload file, it
 // recommends an index configuration under a disk budget and prints the
-// recommendation analysis.
+// recommendation analysis. It is a thin shell over the public advisor
+// package — the same API the xiad server mode speaks.
 //
 //	xia -gen xmark:500:1 -workload data/xmark.workload -budget-kb 256 -search topdown
 //	xia -gen xmark:500:1 -workload data/xmark.workload -search race -trace-json
@@ -20,15 +21,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 
+	"repro/advisor"
 	"repro/internal/catalog"
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/executor"
 	"repro/internal/optimizer"
-	"repro/internal/search"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -38,7 +37,7 @@ func main() {
 	load := flag.String("load", "", "load data: <collection>=<dir>[,<collection>=<dir>...]")
 	wpath := flag.String("workload", "", "workload file (required)")
 	budgetKB := flag.Int64("budget-kb", 0, "disk budget in KB (0 = unlimited)")
-	searchName := flag.String("search", "greedy", "search strategy: "+strings.Join(search.Names(), " | "))
+	searchName := flag.String("search", "greedy", "search strategy: "+strings.Join(advisor.Strategies(), " | "))
 	noGen := flag.Bool("no-generalize", false, "disable candidate generalization")
 	rules := flag.String("rules", "", "generalization rules: comma-separated lub,wildcard,leaf,axis,universal | all | none (default: paper rules)")
 	genParallel := flag.Int("gen-parallel", 0, "concurrent candidate enumerations (0 = GOMAXPROCS)")
@@ -64,66 +63,67 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	w, err := workload.Parse(filepath.Base(*wpath), string(text))
+	w, err := advisor.ParseWorkload(filepath.Base(*wpath), string(text))
 	if err != nil {
 		fatal(err)
 	}
 
-	opts := core.DefaultOptions()
-	opts.Generalize = !*noGen
-	opts.Rules = *rules
-	opts.GenParallelism = *genParallel
-	opts.Parallelism = *parallel
-	opts.CacheShards = *cacheShards
-	opts.CacheSize = *cacheSize
-	if opts.Search, err = core.ParseSearchKind(*searchName); err != nil {
+	// All flag validation (budget, strategy names, rule specs) happens
+	// in the advisor constructor — the one shared path.
+	cat := catalog.New(st)
+	adv, err := advisor.New(cat,
+		advisor.WithStrategy(*searchName),
+		advisor.WithBudgetKB(*budgetKB),
+		advisor.WithGeneralize(!*noGen),
+		advisor.WithRules(*rules),
+		advisor.WithGenParallelism(*genParallel),
+		advisor.WithParallelism(*parallel),
+		advisor.WithCacheShards(*cacheShards),
+		advisor.WithCacheSize(*cacheSize),
+	)
+	if err != nil {
 		fatal(err)
 	}
-	if *budgetKB > 0 {
-		opts.DiskBudgetPages = (*budgetKB * 1024) / store.DefaultPageSize
-		if opts.DiskBudgetPages < 1 {
-			opts.DiskBudgetPages = 1
-		}
-	}
-	cat := catalog.New(st)
-	adv := core.New(cat, opts)
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	rec, err := adv.RecommendContext(ctx, w)
+	resp, err := adv.Recommend(ctx, w, advisor.RecommendRequest{
+		IncludeTrace: *showTrace || *traceJSON,
+		IncludeDAG:   *showDAG,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(rec.Report())
-	// rec.Report already covers evaluations and hits; add only what it
+	fmt.Print(resp.Report())
+	// resp.Report already covers evaluations and hits; add only what it
 	// lacks.
 	fmt.Printf("what-if engine: %d workers, %d cache misses (%.0f%% hit rate)\n",
-		adv.CostEngine().Workers(), rec.Cache.Misses, 100*rec.Cache.HitRate())
-	fmt.Println(rec.Kernel.String())
-	fmt.Println(rec.Search.String())
-	fmt.Println(rec.Gen.String())
+		adv.Workers(), resp.Cache.Misses, 100*resp.Cache.HitRate())
+	fmt.Println(resp.Kernel.String())
+	fmt.Println(resp.Search.String())
+	fmt.Println(resp.Pipeline.String())
 	if *showDAG {
 		fmt.Println()
-		fmt.Print(rec.DAG.Render())
+		fmt.Print(resp.DAGText)
 	}
 	if *showTrace {
 		fmt.Println("\nsearch trace:")
-		for _, line := range rec.Trace {
-			fmt.Println("  " + line)
+		for _, ev := range resp.Trace {
+			fmt.Println("  " + ev.String())
 		}
 	}
 	if *traceJSON {
-		data, err := rec.TraceEvents.JSON()
+		data, err := resp.Trace.JSON()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("\nsearch trace (JSON):\n%s\n", data)
 	}
 	if *materialize {
-		if err := runMaterialized(cat, adv, rec, w); err != nil {
+		if err := runMaterialized(cat, adv, resp, w); err != nil {
 			fatal(err)
 		}
 	}
@@ -133,73 +133,11 @@ func setupData(st *store.Store, gen, load string) error {
 	if gen == "" && load == "" {
 		return fmt.Errorf("one of -gen or -load is required")
 	}
-	if gen != "" {
-		parts := strings.Split(gen, ":")
-		kind := parts[0]
-		n, seed := 300, int64(1)
-		if len(parts) > 1 {
-			v, err := strconv.Atoi(parts[1])
-			if err != nil {
-				return fmt.Errorf("bad -gen count: %v", err)
-			}
-			n = v
-		}
-		if len(parts) > 2 {
-			v, err := strconv.ParseInt(parts[2], 10, 64)
-			if err != nil {
-				return fmt.Errorf("bad -gen seed: %v", err)
-			}
-			seed = v
-		}
-		switch kind {
-		case "xmark":
-			if _, err := datagen.GenerateXMark(st, datagen.XMarkConfig{Docs: n, Seed: seed}); err != nil {
-				return err
-			}
-		case "tpox":
-			if err := datagen.GenerateTPoX(st, datagen.TPoXConfig{Securities: n, Seed: seed}); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("unknown generator %q", kind)
-		}
-	}
-	if load != "" {
-		for _, spec := range strings.Split(load, ",") {
-			coll, dir, ok := strings.Cut(spec, "=")
-			if !ok {
-				return fmt.Errorf("bad -load spec %q", spec)
-			}
-			col := st.Get(coll)
-			if col == nil {
-				var err error
-				if col, err = st.Create(coll); err != nil {
-					return err
-				}
-			}
-			entries, err := os.ReadDir(dir)
-			if err != nil {
-				return err
-			}
-			for _, e := range entries {
-				if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") {
-					continue
-				}
-				data, err := os.ReadFile(filepath.Join(dir, e.Name()))
-				if err != nil {
-					return err
-				}
-				if _, err := col.InsertXML(string(data)); err != nil {
-					return fmt.Errorf("%s: %w", e.Name(), err)
-				}
-			}
-		}
-	}
-	return nil
+	return datagen.SetupStore(st, gen, load)
 }
 
-func runMaterialized(cat *catalog.Catalog, adv *core.Advisor, rec *core.Recommendation, w *workload.Workload) error {
-	names, err := adv.Materialize(rec)
+func runMaterialized(cat *catalog.Catalog, adv *advisor.Advisor, resp *advisor.RecommendResponse, w *workload.Workload) error {
+	names, err := adv.Materialize(resp)
 	if err != nil {
 		return err
 	}

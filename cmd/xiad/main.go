@@ -1,0 +1,80 @@
+// Command xiad is the XML Index Advisor in server mode (paper §3): the
+// advisor lives inside the engine process and clients drive it over a
+// versioned HTTP/JSON API — open a workload into a session once, then
+// run many budget/strategy sweeps against the warm what-if cache, with
+// optional Server-Sent-Events progress streaming.
+//
+//	xiad -gen xmark:500:1 -addr :8080
+//	xiad -load auction=data/auction -addr :8080 -session-ttl 10m
+//
+//	curl -s localhost:8080/v1/healthz
+//	curl -s localhost:8080/v1/strategies
+//	curl -s -X POST localhost:8080/v1/sessions \
+//	    -d '{"name":"demo","workload":"q|3|for $i in collection(\"auction\")/site/regions/namerica/item where $i/quantity > 5 return $i/name"}'
+//	curl -s -X POST localhost:8080/v1/sessions/s1/recommend -d '{"strategy":"race","budgetKB":256}'
+//	curl -N -X POST 'localhost:8080/v1/sessions/s1/recommend?stream=1' -d '{"strategy":"race"}'
+//
+// Request timeouts (-request-timeout or per-request timeoutMs) run the
+// race portfolio in anytime mode: at the deadline the best
+// configuration any member finished is returned instead of an error.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/advisor"
+	"repro/advisor/server"
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	gen := flag.String("gen", "", "generate data: xmark:<docs>:<seed> or tpox:<securities>:<seed>")
+	load := flag.String("load", "", "load data: <collection>=<dir>[,<collection>=<dir>...]")
+	searchName := flag.String("search", "", "default search strategy: "+strings.Join(advisor.Strategies(), " | "))
+	parallel := flag.Int("parallel", 0, "concurrent what-if evaluations (0 = GOMAXPROCS)")
+	cacheShards := flag.Int("cache-shards", 0, "what-if cache shard count (0 = default)")
+	cacheSize := flag.Int("cache-size", 0, "max memoized configuration evaluations (0 = default, negative = unlimited)")
+	reqTimeout := flag.Duration("request-timeout", 0, "default per-recommendation deadline; anytime race returns best-so-far (0 = none)")
+	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "evict sessions idle for this long (0 = never)")
+	maxSessions := flag.Int("max-sessions", 0, "max concurrently open sessions (0 = unlimited)")
+	flag.Parse()
+
+	// An empty -gen/-load pair is allowed: sessions then fail until
+	// data exists, which suits smoke tests of /v1/healthz and
+	// /v1/strategies.
+	st := store.New()
+	if err := datagen.SetupStore(st, *gen, *load); err != nil {
+		log.Fatalln("xiad:", err)
+	}
+	opts := []advisor.Option{
+		advisor.WithParallelism(*parallel),
+		advisor.WithCacheShards(*cacheShards),
+		advisor.WithCacheSize(*cacheSize),
+		advisor.WithAnytime(true),
+	}
+	if *searchName != "" {
+		opts = append(opts, advisor.WithStrategy(*searchName))
+	}
+	if *reqTimeout > 0 {
+		opts = append(opts, advisor.WithDeadline(*reqTimeout))
+	}
+	adv, err := advisor.New(catalog.New(st), opts...)
+	if err != nil {
+		log.Fatalln("xiad:", err)
+	}
+	srv := server.New(adv, server.Options{IdleTTL: *sessionTTL, MaxSessions: *maxSessions})
+	if *sessionTTL > 0 {
+		go srv.Janitor(context.Background(), *sessionTTL/4+time.Second)
+	}
+	log.Printf("xiad: serving the advisor API on %s (strategies: %s; %d what-if workers)",
+		*addr, strings.Join(advisor.Strategies(), ", "), adv.Workers())
+	log.Fatalln("xiad:", http.ListenAndServe(*addr, srv))
+}

@@ -1,16 +1,18 @@
-// Quickstart: build a small XML database, hand the advisor a three-query
-// workload, and print the recommended indexes. This is the minimal
-// end-to-end use of the library's public API.
+// Quickstart: build a small XML database, open a session on a
+// three-query workload through the public advisor API, stream the
+// search's progress events live, and print the recommended indexes.
+// This is the minimal end-to-end use of the library API; see
+// examples/server for the same flow over HTTP against xiad.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"repro/advisor"
 	"repro/internal/catalog"
-	"repro/internal/core"
 	"repro/internal/store"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -29,38 +31,74 @@ func main() {
 
 	// 2. The workload: the paper's §2.2 example — quantities in two
 	// regions, prices in a third.
-	w := &workload.Workload{Name: "quickstart"}
+	w := &advisor.Workload{Name: "quickstart"}
 	w.MustAddQuery(3, `for $i in collection("auction")/site/regions/namerica/item where $i/quantity > 5 return $i/name`)
 	w.MustAddQuery(2, `for $i in collection("auction")/site/regions/africa/item where $i/quantity > 3 return $i/name`)
 	w.MustAddQuery(1, `for $i in collection("auction")/site/regions/samerica/item where $i/price < 40 return $i/name`)
 
-	// 3. Run the advisor. The "race" strategy runs every registered
-	// search strategy (greedy knapsack, the paper's greedy heuristics,
-	// top-down DAG descent) concurrently on the shared what-if cache and
-	// keeps the best configuration.
-	opts := core.DefaultOptions()
-	opts.Search = core.SearchRace
-	cat := catalog.New(st)
-	adv := core.New(cat, opts)
-	rec, err := adv.Recommend(w)
+	// 3. The advisor, through the public facade. The "race" strategy
+	// runs every registered search strategy (greedy knapsack, the
+	// paper's greedy heuristics, top-down DAG descent) concurrently on
+	// the shared what-if cache and keeps the best configuration.
+	adv, err := advisor.New(catalog.New(st), advisor.WithStrategy("race"))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 4. The recommendation: generalization should have produced
-	// /site/regions/*/item/quantity (and possibly /site/regions/*/item/*).
-	fmt.Print(rec.Report())
-	fmt.Println("\ncandidate pipeline:")
-	fmt.Println(rec.Gen.String())
-	fmt.Println("\ncandidate DAG:")
-	fmt.Print(rec.DAG.Render())
-
-	// 5. How the search got there: per-strategy stats and the
-	// structured trace (every add/skip/reclaim step, with the what-if
-	// cache deltas it cost).
-	fmt.Println("\n" + rec.Search.String())
-	fmt.Println("search trace:")
-	for _, line := range rec.Trace {
-		fmt.Println("  " + line)
+	// 4. Open the workload into a session: the candidate pipeline runs
+	// once, and every recommendation on the session reuses the space
+	// and the warm what-if cache.
+	ctx := context.Background()
+	sess, err := adv.Open(ctx, w)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer sess.Close()
+
+	// 5. Stream the recommendation: candidate-space stats first, then
+	// every search step as it happens (race members interleave; the
+	// event names its strategy), then counters and the final result.
+	var resp *advisor.RecommendResponse
+	fmt.Println("progress events:")
+	for ev := range sess.RecommendStream(ctx, advisor.RecommendRequest{}) {
+		switch ev.Type {
+		case advisor.EventSpace:
+			fmt.Printf("  [%02d] space: %d basic -> %d candidates (%s)\n",
+				ev.Seq, ev.Candidates.Basics, ev.Candidates.Total, ev.Pipeline.Source)
+		case advisor.EventTrace:
+			fmt.Printf("  [%02d] %-16s %s\n", ev.Seq, ev.Trace.Strategy, ev.Trace.String())
+		case advisor.EventCounters:
+			fmt.Printf("  [%02d] counters: cache %d/%d/%d, kernel %.0f%% hit\n",
+				ev.Seq, ev.Cache.Hits, ev.Cache.Misses, ev.Cache.Evaluations, 100*ev.Kernel.HitRate())
+		case advisor.EventResult:
+			resp = ev.Response
+		case advisor.EventError:
+			log.Fatal(ev.Error)
+		}
+	}
+
+	// 6. The recommendation: generalization should have produced
+	// /site/regions/*/item/quantity (and possibly /site/regions/*/item/*).
+	fmt.Println()
+	fmt.Print(resp.Report())
+	fmt.Println("\ncandidate pipeline:")
+	fmt.Println(resp.Pipeline.String())
+	fmt.Println("\n" + resp.Search.String())
+
+	// 7. A second request on the warm session: same space, tighter
+	// budget, different strategy — the budget-sweep pattern xiad serves
+	// over HTTP.
+	budget := resp.TotalPages / 2
+	if budget < 1 {
+		budget = 1 // 0 would mean "the advisor's default budget"
+	}
+	half, err := sess.Recommend(ctx, advisor.RecommendRequest{
+		Strategy:    "topdown",
+		BudgetPages: budget,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhalf-budget topdown on the warm session: %d indexes, %d pages, net %.1f (%d evaluations, %.0f%% cache hits)\n",
+		len(half.Indexes), half.TotalPages, half.NetBenefit, half.Evaluations, 100*half.Cache.HitRate())
 }

@@ -1,15 +1,17 @@
 // TPoX scenario: a financial workload mixing XQuery and SQL/XML across
 // three collections, with a heavy order-entry (insert) stream. Shows how
 // update cost shapes the recommendation (paper §1) and that the advisor
-// handles multi-collection workloads.
+// handles multi-collection workloads — all through the public advisor
+// facade.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"repro/advisor"
 	"repro/internal/catalog"
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/store"
 )
@@ -23,19 +25,23 @@ func main() {
 	fmt.Printf("TPoX database: %d securities, %d orders, %d customer accounts\n\n",
 		st.Get("security").Len(), st.Get("order").Len(), st.Get("custacc").Len())
 
+	ctx := context.Background()
 	for _, updateShare := range []float64{0, 2, 8} {
 		w := datagen.TPoXWorkload(18, 3, securities)
 		if updateShare > 0 {
 			datagen.TPoXUpdates(w, updateShare*w.TotalQueryWeight(), 3, securities)
 		}
-		adv := core.New(catalog.New(st), core.DefaultOptions())
-		rec, err := adv.Recommend(w)
+		adv, err := advisor.New(catalog.New(st))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := adv.Recommend(ctx, w, advisor.RecommendRequest{})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("update:query weight ratio %.0f -> %d indexes, %d pages, query benefit %.1f, update cost %.1f, net %.1f\n",
-			updateShare, len(rec.Config), rec.TotalPages, rec.QueryBenefit, rec.UpdateCost, rec.NetBenefit)
-		for _, ddl := range rec.DDL {
+			updateShare, len(resp.Indexes), resp.TotalPages, resp.QueryBenefit, resp.UpdateCost, resp.NetBenefit)
+		for _, ddl := range resp.DDL() {
 			fmt.Println("   ", ddl)
 		}
 		fmt.Println()

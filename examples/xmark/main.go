@@ -1,16 +1,18 @@
 // XMark scenario: the full demonstration flow of the paper on the
-// auction database — generate data, recommend under a disk budget with
-// both search algorithms, materialize the winning configuration, and
+// auction database — generate data, open one advisor session, compare
+// both search algorithms plus the race portfolio under a disk budget on
+// the warm what-if cache, materialize the winning configuration, and
 // show actual execution times (demo steps of §3).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
+	"repro/advisor"
 	"repro/internal/catalog"
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/executor"
 	"repro/internal/optimizer"
@@ -23,9 +25,24 @@ func main() {
 		log.Fatal(err)
 	}
 	w := datagen.XMarkWorkload(20, 7)
+	ctx := context.Background()
+
+	cat := catalog.New(st)
+	adv, err := advisor.New(cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One session serves the whole comparison: the candidate space is
+	// built once and every strategy/budget pair below re-searches it on
+	// the shared what-if cache.
+	sess, err := adv.Open(ctx, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
 
 	// Size the budget at half of the unconstrained recommendation.
-	base, err := core.New(catalog.New(st), core.DefaultOptions()).Recommend(w)
+	base, err := sess.Recommend(ctx, advisor.RecommendRequest{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,39 +51,32 @@ func main() {
 
 	// Compare the two search algorithms of §2.3, plus the race
 	// portfolio that runs every registered strategy concurrently.
-	var best *core.Recommendation
-	var bestCat *catalog.Catalog
-	var bestAdv *core.Advisor
-	for _, kind := range []core.SearchKind{core.SearchGreedyHeuristic, core.SearchTopDown, core.SearchRace} {
-		opts := core.DefaultOptions()
-		opts.Search = kind
-		opts.DiskBudgetPages = budget
-		cat := catalog.New(st)
-		adv := core.New(cat, opts)
-		rec, err := adv.Recommend(w)
+	var best *advisor.RecommendResponse
+	for _, strategy := range []string{"greedy-heuristic", "topdown", "race"} {
+		resp, err := sess.Recommend(ctx, advisor.RecommendRequest{Strategy: strategy, BudgetPages: budget})
 		if err != nil {
 			log.Fatal(err)
 		}
-		label := string(kind)
-		if rec.Search.Winner != "" {
-			label += " -> " + rec.Search.Winner
+		label := strategy
+		if resp.Search.Winner != "" {
+			label += " -> " + resp.Search.Winner
 		}
 		fmt.Printf("[%s] %d indexes, %d pages, net benefit %.1f\n",
-			label, len(rec.Config), rec.TotalPages, rec.NetBenefit)
-		for _, ddl := range rec.DDL {
+			label, len(resp.Indexes), resp.TotalPages, resp.NetBenefit)
+		for _, ddl := range resp.DDL() {
 			fmt.Println("   ", ddl)
 		}
-		if best == nil || rec.NetBenefit > best.NetBenefit {
-			best, bestCat, bestAdv = rec, cat, adv
+		if best == nil || resp.NetBenefit > best.NetBenefit {
+			best = resp
 		}
 	}
 
-	// Materialize the better configuration and run the workload for real.
-	if _, err := bestAdv.Materialize(best); err != nil {
+	// Materialize the best configuration and run the workload for real.
+	if _, err := adv.Materialize(best); err != nil {
 		log.Fatal(err)
 	}
-	opt := optimizer.New(bestCat)
-	ex := executor.New(bestCat)
+	opt := optimizer.New(cat)
+	ex := executor.New(cat)
 	fmt.Printf("\n%-6s %8s %12s %12s %8s  %s\n", "query", "rows", "scan", "indexed", "speedup", "plan")
 	for _, e := range w.Queries {
 		scan, err := ex.Run(e.Query, nil)

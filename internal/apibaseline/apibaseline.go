@@ -1,0 +1,152 @@
+// Package apibaseline lists a Go package's exported API surface as
+// stable text lines, for diffing against a committed baseline file
+// (api/v1.txt). It is the engine behind cmd/apicheck and the advisor
+// package's compatibility test: any add, rename, or removal of an
+// exported identifier shows up as a baseline diff that must be
+// committed deliberately.
+package apibaseline
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Identifiers returns the exported API surface of the package in dir as
+// sorted lines:
+//
+//	<pkg>: const <Name>
+//	<pkg>: func <Name>
+//	<pkg>: method <Type>.<Name>
+//	<pkg>: type <Name>
+//	<pkg>: field <Type>.<Name>
+//	<pkg>: var <Name>
+//
+// label names the package in the output (e.g. "advisor"). Test files
+// are ignored; only syntax is inspected, so the listing needs no build
+// context.
+func Identifiers(label, dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	add := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf("%s: %s", label, fmt.Sprintf(format, args...)))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					if d.Recv == nil {
+						add("func %s", d.Name.Name)
+					} else if recv := receiverName(d.Recv); recv != "" && ast.IsExported(recv) {
+						add("method %s.%s", recv, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if !s.Name.IsExported() {
+								continue
+							}
+							add("type %s", s.Name.Name)
+							listTypeMembers(add, s)
+						case *ast.ValueSpec:
+							kind := "var"
+							if d.Tok == token.CONST {
+								kind = "const"
+							}
+							for _, name := range s.Names {
+								if name.IsExported() {
+									add("%s %s", kind, name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return dedupe(out), nil
+}
+
+// listTypeMembers records the exported fields of a struct type and the
+// methods of an interface type — the parts of a type's shape that are
+// API surface on their own.
+func listTypeMembers(add func(string, ...any), s *ast.TypeSpec) {
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			for _, name := range f.Names {
+				if name.IsExported() {
+					add("field %s.%s", s.Name.Name, name.Name)
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			for _, name := range m.Names {
+				if name.IsExported() {
+					add("method %s.%s", s.Name.Name, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName extracts the receiver's base type name.
+func receiverName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}
+
+func dedupe(in []string) []string {
+	out := in[:0]
+	var prev string
+	for i, s := range in {
+		if i == 0 || s != prev {
+			out = append(out, s)
+		}
+		prev = s
+	}
+	return out
+}
+
+// Surface lists the exported identifiers of every (label, dir) pair in
+// order, concatenated into one baseline document.
+func Surface(packages [][2]string) (string, error) {
+	var lines []string
+	for _, p := range packages {
+		ids, err := Identifiers(p[0], p[1])
+		if err != nil {
+			return "", err
+		}
+		lines = append(lines, ids...)
+	}
+	return strings.Join(lines, "\n") + "\n", nil
+}

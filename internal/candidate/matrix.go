@@ -15,20 +15,20 @@ import (
 // transitive reduction.
 type MatrixStats struct {
 	// Strata is the number of (collection, type) groups.
-	Strata int
+	Strata int `json:"strata"`
 	// Pairs counts ordered candidate pairs tested for containment after
 	// the stratum and leaf-compatibility pre-filters.
-	Pairs int
+	Pairs int `json:"pairs"`
 	// Structural counts pairs decided by the kernel's structural fast
 	// path; NFA counts pairs that ran the automaton product search.
-	Structural int
-	NFA        int
+	Structural int `json:"structural"`
+	NFA        int `json:"nfa"`
 	// Edges is the DAG edge count after transitive reduction.
-	Edges int
+	Edges int `json:"edges"`
 	// BuildWall and ReduceWall split the matrix wall-clock between the
 	// pairwise containment sweep and the bitwise transitive reduction.
-	BuildWall  time.Duration
-	ReduceWall time.Duration
+	BuildWall  time.Duration `json:"buildWallNs"`
+	ReduceWall time.Duration `json:"reduceWallNs"`
 }
 
 // String renders the stats as one line.

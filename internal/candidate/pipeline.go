@@ -14,6 +14,17 @@ import (
 	"repro/internal/workload"
 )
 
+// Default pipeline thresholds, shared by the advisor core, the public
+// advisor facade's option validation, and the xdb candidates command.
+const (
+	// DefaultMaxCandidates is the default candidate budget.
+	DefaultMaxCandidates = 400
+	// DefaultMinSharedSteps is the default minimum number of shared
+	// concrete steps two patterns need before pairwise generalization
+	// applies.
+	DefaultMinSharedSteps = 1
+)
+
 // Options configure a Pipeline.
 type Options struct {
 	// Parallelism bounds concurrent Source.Enumerate calls (one query
@@ -27,45 +38,46 @@ type Options struct {
 	// patterns need before pairwise generalization applies.
 	MinSharedSteps int
 	// MaxCandidates is the candidate budget: generalization stops once
-	// the full set (basic + generalized) reaches it; 0 means 400.
+	// the full set (basic + generalized) reaches it; 0 means
+	// DefaultMaxCandidates.
 	MaxCandidates int
 }
 
 // RuleStats are one rule's counters for a pipeline run.
 type RuleStats struct {
 	// Name is the rule's identifier.
-	Name string
+	Name string `json:"name"`
 	// Applied counts candidates the rule added to the set.
-	Applied int
+	Applied int `json:"applied"`
 	// Pruned counts the rule's proposals that were rejected: duplicates
 	// of existing candidates, over the candidate budget, or patterns
 	// that would index no data.
-	Pruned int
+	Pruned int `json:"pruned"`
 }
 
 // Stats describe one pipeline run.
 type Stats struct {
 	// Source names the candidate source.
-	Source string
+	Source string `json:"source"`
 	// Enumerated counts raw source proposals across all queries, before
 	// deduplication.
-	Enumerated int
+	Enumerated int `json:"enumerated"`
 	// Basic is the deduplicated basic candidate count.
-	Basic int
+	Basic int `json:"basic"`
 	// Generalized counts candidates added by the rules (after pruning).
-	Generalized int
+	Generalized int `json:"generalized"`
 	// Deduped counts duplicate basic proposals merged away.
-	Deduped int
+	Deduped int `json:"deduped"`
 	// Pruned counts rejected rule proposals (duplicates, budget,
 	// no-data), summed over Rules.
-	Pruned int
+	Pruned int `json:"pruned"`
 	// Rules holds the per-rule counters, in application order.
-	Rules []RuleStats
+	Rules []RuleStats `json:"rules,omitempty"`
 	// Matrix describes the containment-matrix build behind the DAG and
 	// covers bitmaps: pair counts, decision-path split, and timings.
-	Matrix MatrixStats
+	Matrix MatrixStats `json:"matrix"`
 	// Wall is the pipeline wall-clock time.
-	Wall time.Duration
+	Wall time.Duration `json:"wallNs"`
 }
 
 // String renders the stats as one line plus one line per rule.
@@ -93,7 +105,7 @@ type Pipeline struct {
 // New builds a pipeline over the catalog with the given source.
 func New(cat *catalog.Catalog, src Source, opts Options) *Pipeline {
 	if opts.MaxCandidates <= 0 {
-		opts.MaxCandidates = 400
+		opts.MaxCandidates = DefaultMaxCandidates
 	}
 	if opts.MinSharedSteps < 0 {
 		opts.MinSharedSteps = 0

@@ -59,6 +59,12 @@ type Options struct {
 	// (/a/b -> /a//b), useful when future workloads move subtrees.
 	RelaxAxes bool
 
+	// Anytime makes deadline-aware strategies return the best result
+	// found so far when the context deadline expires instead of failing.
+	// Today the race portfolio honors it: members that completed before
+	// the deadline still compete and the best finished member wins.
+	Anytime bool
+
 	// Parallelism bounds concurrent what-if query evaluations in the
 	// costing engine; 0 means GOMAXPROCS.
 	Parallelism int
@@ -76,8 +82,8 @@ func DefaultOptions() Options {
 	return Options{
 		Search:           SearchGreedyHeuristic,
 		Generalize:       true,
-		MinSharedSteps:   1,
-		MaxCandidates:    400,
+		MinSharedSteps:   candidate.DefaultMinSharedSteps,
+		MaxCandidates:    candidate.DefaultMaxCandidates,
 		InteractionAware: true,
 	}
 }
@@ -118,7 +124,7 @@ func New(cat *catalog.Catalog, opts Options) *Advisor {
 // Options.Enumeration is EnumSyntactic).
 func NewWithService(cat *catalog.Catalog, opts Options, svc whatif.CostService, opt *optimizer.Optimizer) *Advisor {
 	if opts.MaxCandidates <= 0 {
-		opts.MaxCandidates = 400
+		opts.MaxCandidates = candidate.DefaultMaxCandidates
 	}
 	if opts.MinSharedSteps < 0 {
 		opts.MinSharedSteps = 0
@@ -207,6 +213,11 @@ type Recommendation struct {
 	Config []*Candidate
 	// DDL holds one CREATE INDEX statement per recommended index.
 	DDL []string
+	// Names holds the public index name (XIA_IDX<n>) per recommended
+	// index, in Config order — the names used in DDL and in
+	// PerQuery.IndexesUsed, exposed so API layers never re-derive the
+	// naming scheme.
+	Names []string
 	// TotalPages is the configuration size.
 	TotalPages int64
 	// QueryBenefit, UpdateCost, NetBenefit summarize the estimated
@@ -258,14 +269,30 @@ func (a *Advisor) Recommend(w *workload.Workload) (*Recommendation, error) {
 // threaded through every what-if evaluation, so a cancelled or expired
 // context aborts the search promptly.
 func (a *Advisor) RecommendContext(ctx context.Context, w *workload.Workload) (*Recommendation, error) {
+	rec, _, err := a.RecommendFull(ctx, w, a.opts.Search, a.opts.DiskBudgetPages, nil)
+	return rec, err
+}
+
+// RecommendFull is the one-shot pipeline with per-call strategy and
+// budget: Prepare plus one search, with Elapsed and the cache/kernel
+// counter windows covering the whole run (candidate generation
+// included), unlike Prepared.RecommendWith whose windows cover only the
+// search. The Prepared is returned alongside so callers can keep the
+// warm space for follow-up searches.
+func (a *Advisor) RecommendFull(ctx context.Context, w *workload.Workload, kind SearchKind, budgetPages int64,
+	obs func(search.TraceEvent)) (*Recommendation, *Prepared, error) {
 	start := time.Now()
 	statsBefore := a.cost.Stats()
 	kernelBefore := pattern.Stats()
 	p, err := a.Prepare(ctx, w)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return p.recommend(ctx, a.opts.Search, a.opts.DiskBudgetPages, start, statsBefore, kernelBefore)
+	rec, err := p.recommend(ctx, kind, budgetPages, obs, start, statsBefore, kernelBefore)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec, p, nil
 }
 
 func catalogDDL(name string, c *Candidate) string {
@@ -279,7 +306,21 @@ func catalogDDL(name string, c *Candidate) string {
 // more queries" feature). It returns total weighted cost without
 // indexes, with the configuration, and the benefit.
 func (a *Advisor) EvaluateOn(w *workload.Workload, config []*Candidate) (noIdx, withIdx float64, err error) {
-	res, err := a.evalWorkload(context.Background(), w, config)
+	defs := make([]*catalog.IndexDef, len(config))
+	for i, c := range config {
+		defs[i] = c.Def
+	}
+	return a.EvaluateDefs(context.Background(), w, defs)
+}
+
+// EvaluateDefs is EvaluateOn for an arbitrary index-definition
+// configuration — the hook the public facade uses to cost
+// configurations that arrived as DTOs (possibly from another process).
+func (a *Advisor) EvaluateDefs(ctx context.Context, w *workload.Workload, defs []*catalog.IndexDef) (noIdx, withIdx float64, err error) {
+	if err := a.ensureFreshCosts(w); err != nil {
+		return 0, 0, err
+	}
+	res, err := a.cost.EvaluateConfig(ctx, w.QueryList(), defs)
 	if err != nil {
 		return 0, 0, err
 	}

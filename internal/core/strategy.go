@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -103,6 +104,7 @@ func (a *Advisor) Prepare(ctx context.Context, w *workload.Workload) (*Prepared,
 		BudgetPages:      a.opts.DiskBudgetPages,
 		Eval:             searchEvaluator{ev},
 		InteractionAware: a.opts.InteractionAware,
+		Anytime:          a.opts.Anytime,
 		Counters: func() search.Counters {
 			s := a.cost.Stats()
 			return search.Counters{Hits: s.Hits, Misses: s.Misses, Evaluations: s.Evaluations}
@@ -115,26 +117,63 @@ func (a *Advisor) Prepare(ctx context.Context, w *workload.Workload) (*Prepared,
 // (budget sweeps over Space.WithBudget, custom registered strategies).
 func (p *Prepared) Space() *search.Space { return p.space }
 
+// Basics exposes the deduplicated basic candidates of the prepared
+// space.
+func (p *Prepared) Basics() []*Candidate { return p.set.Basics }
+
+// DAG exposes the containment DAG over the prepared candidate space.
+func (p *Prepared) DAG() *DAG { return p.set.DAG }
+
+// CandidateStats exposes the candidate pipeline's stats for the
+// prepared space.
+func (p *Prepared) CandidateStats() candidate.Stats { return p.set.Stats }
+
 // RecommendWith runs one search strategy at one disk budget (0 =
 // unlimited) over the prepared space and assembles the full
 // recommendation. The run's cache/kernel counter windows and Elapsed
 // cover only this search, not the shared candidate generation.
 func (p *Prepared) RecommendWith(ctx context.Context, kind SearchKind, budgetPages int64) (*Recommendation, error) {
-	return p.recommend(ctx, kind, budgetPages, time.Now(), p.a.cost.Stats(), pattern.Stats())
+	return p.RecommendObserved(ctx, kind, budgetPages, nil)
+}
+
+// RecommendObserved is RecommendWith with a streaming trace hook: every
+// search TraceEvent is forwarded to obs as it is emitted, before the
+// recommendation is assembled. obs may be called concurrently (the race
+// portfolio's members search at once) and must not block for long. A
+// nil obs makes it identical to RecommendWith. Concurrent calls on one
+// Prepared are safe and each sees only its own events.
+func (p *Prepared) RecommendObserved(ctx context.Context, kind SearchKind, budgetPages int64,
+	obs func(search.TraceEvent)) (*Recommendation, error) {
+	return p.recommend(ctx, kind, budgetPages, obs, time.Now(), p.a.cost.Stats(), pattern.Stats())
 }
 
 // recommend searches the prepared space and derives the recommendation
 // output: DDL, per-query analysis, overtrained comparison, and the
 // counter windows against the given snapshots.
 func (p *Prepared) recommend(ctx context.Context, kind SearchKind, budgetPages int64,
+	obs func(search.TraceEvent),
 	start time.Time, statsBefore whatif.Stats, kernelBefore pattern.KernelStats) (*Recommendation, error) {
 	strat, err := search.Lookup(string(kind))
 	if err != nil {
 		return nil, err
 	}
-	res, err := strat.Search(ctx, p.space.WithBudget(budgetPages))
+	// WithBudget copies the space, so the per-call observer never leaks
+	// into sibling searches running on the same Prepared.
+	sp := p.space.WithBudget(budgetPages)
+	sp.Observer = obs
+	res, err := strat.Search(ctx, sp)
 	if err != nil {
 		return nil, err
+	}
+	// Anytime mode delivered a best-so-far result at an expired
+	// deadline; assembling the recommendation below needs a few more
+	// what-if evaluations (the final and overtrained configurations),
+	// which must not be killed by the deadline that already fired — the
+	// whole point was to return something useful at the deadline.
+	// Explicit cancellation is not softened: the search itself would
+	// have failed, so we never get here with a cancelled context.
+	if sp.Anytime && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		ctx = context.WithoutCancel(ctx)
 	}
 
 	rec := &Recommendation{
@@ -171,6 +210,7 @@ func (p *Prepared) recommend(ctx context.Context, kind SearchKind, budgetPages i
 	for i, c := range rec.Config {
 		name := fmt.Sprintf("XIA_IDX%d", i+1)
 		public[c.ID] = name
+		rec.Names = append(rec.Names, name)
 		rec.DDL = append(rec.DDL, catalogDDL(name, c))
 	}
 	for qi, e := range p.w.Queries {

@@ -1,0 +1,83 @@
+package datagen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// SetupStore populates a store from the CLI data specs shared by the
+// xia and xiad commands: gen is "xmark:<docs>:<seed>" or
+// "tpox:<securities>:<seed>" (count and seed optional), load is
+// "<collection>=<dir>[,<collection>=<dir>...]" of directories of .xml
+// files. Empty specs are skipped; callers decide whether at least one
+// is required.
+func SetupStore(st *store.Store, gen, load string) error {
+	if gen != "" {
+		parts := strings.Split(gen, ":")
+		kind := parts[0]
+		n, seed := 300, int64(1)
+		if len(parts) > 1 {
+			v, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return fmt.Errorf("bad -gen count: %v", err)
+			}
+			n = v
+		}
+		if len(parts) > 2 {
+			v, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad -gen seed: %v", err)
+			}
+			seed = v
+		}
+		switch kind {
+		case "xmark":
+			if _, err := GenerateXMark(st, XMarkConfig{Docs: n, Seed: seed}); err != nil {
+				return err
+			}
+		case "tpox":
+			if err := GenerateTPoX(st, TPoXConfig{Securities: n, Seed: seed}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown generator %q", kind)
+		}
+	}
+	if load != "" {
+		for _, spec := range strings.Split(load, ",") {
+			coll, dir, ok := strings.Cut(spec, "=")
+			if !ok {
+				return fmt.Errorf("bad -load spec %q", spec)
+			}
+			col := st.Get(coll)
+			if col == nil {
+				var err error
+				if col, err = st.Create(coll); err != nil {
+					return err
+				}
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") {
+					continue
+				}
+				data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+				if err != nil {
+					return err
+				}
+				if _, err := col.InsertXML(string(data)); err != nil {
+					return fmt.Errorf("%s: %w", e.Name(), err)
+				}
+			}
+		}
+	}
+	return nil
+}

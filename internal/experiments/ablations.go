@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
 	"time"
 
-	"repro/internal/core"
+	"repro/advisor"
 	"repro/internal/datagen"
 )
 
@@ -16,17 +17,16 @@ import (
 // exclude non-matchable patterns, so its recommendations are larger and
 // weaker — the paper's motivation for tight coupling (§2).
 func E9CouplingAblation(env *Env) (string, error) {
+	ctx := context.Background()
 	t := newTable("E9: optimizer-coupled vs syntactic candidate enumeration",
 		"enumeration", "#basic", "#idx", "pages", "net benefit", "#unused")
-	for _, mode := range []core.EnumerationMode{core.EnumOptimizer, core.EnumSyntactic} {
+	for _, syntactic := range []bool{false, true} {
 		name := "optimizer"
-		if mode == core.EnumSyntactic {
+		if syntactic {
 			name = "syntactic"
 		}
-		opts := core.DefaultOptions()
-		opts.Enumeration = mode
-		a := env.advisor(opts)
-		rec, err := a.Recommend(env.XMarkWorkload)
+		a := env.advisor(advisor.WithSyntacticEnumeration(syntactic))
+		rec, err := a.Recommend(ctx, env.XMarkWorkload, advisor.RecommendRequest{})
 		if err != nil {
 			return "", err
 		}
@@ -36,8 +36,8 @@ func E9CouplingAblation(env *Env) (string, error) {
 				used[n] = true
 			}
 		}
-		t.add(name, len(rec.Basics), len(rec.Config), rec.TotalPages, rec.NetBenefit,
-			len(rec.Config)-len(used))
+		t.add(name, rec.Candidates.Basics, len(rec.Indexes), rec.TotalPages, rec.NetBenefit,
+			len(rec.Indexes)-len(used))
 	}
 	return t.String(), nil
 }
@@ -47,6 +47,7 @@ func E9CouplingAblation(env *Env) (string, error) {
 // other indexes are available"): greedy search with marginal
 // re-evaluation vs standalone benefits.
 func E10InteractionAblation(env *Env) (string, error) {
+	ctx := context.Background()
 	over, err := overtrainedPages(env, env.XMarkWorkload)
 	if err != nil {
 		return "", err
@@ -56,15 +57,12 @@ func E10InteractionAblation(env *Env) (string, error) {
 	for _, frac := range []float64{0.25, 0.5} {
 		budget := int64(float64(over) * frac)
 		for _, aware := range []bool{false, true} {
-			opts := core.DefaultOptions()
-			opts.InteractionAware = aware
-			opts.DiskBudgetPages = budget
-			a := env.advisor(opts)
-			rec, err := a.Recommend(env.XMarkWorkload)
+			a := env.advisor(advisor.WithInteractionAware(aware), advisor.WithBudgetPages(budget))
+			rec, err := a.Recommend(ctx, env.XMarkWorkload, advisor.RecommendRequest{})
 			if err != nil {
 				return "", err
 			}
-			t.add(boolName(aware), budget, len(rec.Config), rec.TotalPages, rec.NetBenefit,
+			t.add(boolName(aware), budget, len(rec.Indexes), rec.TotalPages, rec.NetBenefit,
 				rec.Evaluations, 100*rec.Cache.HitRate())
 		}
 	}
@@ -82,18 +80,18 @@ func boolName(b bool) string {
 // count, and candidate-set growth as the workload grows — the advisor's
 // own cost, which a DBA-facing tool must keep manageable.
 func E11AdvisorScalability(env *Env) (string, error) {
+	ctx := context.Background()
 	t := newTable("E11: advisor runtime vs workload size",
 		"#queries", "#basic", "#cands", "#idx", "evaluations", "cache hit%", "kernel hit%", "runtime")
 	for _, n := range []int{5, 10, 20, 40, 80} {
 		w := datagen.XMarkWorkload(n, 1)
-		a := env.advisor(core.DefaultOptions())
-		rec, err := a.Recommend(w)
+		rec, err := env.advisor().Recommend(ctx, w, advisor.RecommendRequest{})
 		if err != nil {
 			return "", err
 		}
-		t.add(n, len(rec.Basics), len(rec.DAG.Nodes), len(rec.Config),
+		t.add(n, rec.Candidates.Basics, rec.Candidates.DAGNodes, len(rec.Indexes),
 			rec.Evaluations, 100*rec.Cache.HitRate(), 100*rec.Kernel.HitRate(),
-			rec.Elapsed.Round(time.Millisecond).String())
+			rec.Elapsed().Round(time.Millisecond).String())
 	}
 	return t.String(), nil
 }
@@ -103,18 +101,17 @@ func E11AdvisorScalability(env *Env) (string, error) {
 // This is the payoff of decoupling search from the optimizer behind the
 // concurrent whatif.CostService.
 func E12ParallelWhatIf(env *Env) (string, error) {
+	ctx := context.Background()
 	t := newTable("E12: what-if evaluation parallelism (XMark workload, greedy-heuristic search)",
 		"workers", "#idx", "net benefit", "evaluations", "cache hits", "hit%", "runtime")
 	for _, wk := range WorkerSweep() {
-		opts := core.DefaultOptions()
-		opts.Parallelism = wk
-		a := env.advisor(opts)
-		rec, err := a.Recommend(env.XMarkWorkload)
+		a := env.advisor(advisor.WithParallelism(wk))
+		rec, err := a.Recommend(ctx, env.XMarkWorkload, advisor.RecommendRequest{})
 		if err != nil {
 			return "", err
 		}
-		t.add(wk, len(rec.Config), rec.NetBenefit, rec.Evaluations,
-			int(rec.Cache.Hits), 100*rec.Cache.HitRate(), rec.Elapsed.Round(time.Millisecond).String())
+		t.add(wk, len(rec.Indexes), rec.NetBenefit, rec.Evaluations,
+			int(rec.Cache.Hits), 100*rec.Cache.HitRate(), rec.Elapsed().Round(time.Millisecond).String())
 	}
 	return t.String(), nil
 }
@@ -134,21 +131,20 @@ func WorkerSweep() []int {
 // set, each rule alone, the full set, and none, with the pipeline's
 // per-rule applied/pruned counters.
 func E13RuleAblation(env *Env) (string, error) {
+	ctx := context.Background()
 	t := newTable("E13: generalization rule ablation (XMark workload, unlimited budget)",
 		"rules", "#basic", "#cands", "#idx", "pages", "net benefit", "rule applied/pruned")
 	for _, spec := range []string{"none", "lub", "wildcard", "leaf", "axis", "universal", "lub,leaf", "all"} {
-		opts := core.DefaultOptions()
-		opts.Rules = spec
-		a := env.advisor(opts)
-		rec, err := a.Recommend(env.XMarkWorkload)
+		a := env.advisor(advisor.WithRules(spec))
+		rec, err := a.Recommend(ctx, env.XMarkWorkload, advisor.RecommendRequest{})
 		if err != nil {
 			return "", err
 		}
 		var counters []string
-		for _, r := range rec.Gen.Rules {
+		for _, r := range rec.Pipeline.Rules {
 			counters = append(counters, fmt.Sprintf("%s:%d/%d", r.Name, r.Applied, r.Pruned))
 		}
-		t.add(spec, rec.Gen.Basic, len(rec.DAG.Nodes), len(rec.Config), rec.TotalPages,
+		t.add(spec, rec.Pipeline.Basic, rec.Candidates.DAGNodes, len(rec.Indexes), rec.TotalPages,
 			rec.NetBenefit, strings.Join(counters, " "))
 	}
 	return t.String(), nil

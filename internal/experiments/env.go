@@ -10,8 +10,8 @@ import (
 	"strings"
 	"sync"
 
+	"repro/advisor"
 	"repro/internal/catalog"
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/executor"
 	"repro/internal/optimizer"
@@ -96,9 +96,17 @@ func (e *Env) freshCatalog() *catalog.Catalog {
 	return catalog.New(e.Store)
 }
 
-// advisor builds an advisor over a fresh catalog with the given options.
-func (e *Env) advisor(opts core.Options) *core.Advisor {
-	return core.New(e.freshCatalog(), opts)
+// advisor builds a public-facade advisor over a fresh catalog with the
+// given options. The experiment harness goes through the same API the
+// CLI tools and the xiad server use; option values here are
+// program-constant, so a validation failure is a programming error and
+// panics.
+func (e *Env) advisor(opts ...advisor.Option) *advisor.Advisor {
+	a, err := advisor.New(e.freshCatalog(), opts...)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: advisor options: %v", err))
+	}
+	return a
 }
 
 // optimizer builds an optimizer over a fresh catalog.

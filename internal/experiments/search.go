@@ -5,24 +5,18 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/search"
+	"repro/advisor"
 	"repro/internal/workload"
 )
 
 // overtrainedPages runs the advisor without a budget and returns the
 // size of the all-basic-candidates configuration, the sweep baseline.
 func overtrainedPages(env *Env, w *workload.Workload) (int64, error) {
-	opts := core.DefaultOptions()
-	a := env.advisor(opts)
-	rec, err := a.Recommend(w)
+	rec, err := env.advisor().Recommend(context.Background(), w, advisor.RecommendRequest{})
 	if err != nil {
 		return 0, err
 	}
-	var pages int64
-	for _, c := range rec.Basics {
-		pages += c.Pages()
-	}
+	pages := rec.Candidates.BasicsPages
 	if pages == 0 {
 		pages = 1
 	}
@@ -33,33 +27,34 @@ func overtrainedPages(env *Env, w *workload.Workload) (int64, error) {
 // the size and shape of the generalized candidate set and how each
 // search algorithm traverses it.
 func E3GeneralizationDAG(env *Env) (string, error) {
+	ctx := context.Background()
 	var sb strings.Builder
-	a := env.advisor(core.DefaultOptions())
-	rec, err := a.Recommend(env.PaperWorkload)
+	rec, err := env.advisor().Recommend(ctx, env.PaperWorkload, advisor.RecommendRequest{IncludeDAG: true})
 	if err != nil {
 		return "", err
 	}
 	fmt.Fprintf(&sb, "E3: candidate generalization DAG (Figure 4), paper workload\n")
-	sb.WriteString(rec.DAG.Render())
+	sb.WriteString(rec.DAGText)
 	sb.WriteString("\nsearch traces:\n")
 
-	for _, kind := range []core.SearchKind{core.SearchGreedyHeuristic, core.SearchTopDown} {
-		opts := core.DefaultOptions()
-		opts.Search = kind
+	for _, strategy := range []string{"greedy-heuristic", "topdown"} {
 		over, err := overtrainedPages(env, env.XMarkWorkload)
 		if err != nil {
 			return "", err
 		}
-		opts.DiskBudgetPages = over / 2
-		a := env.advisor(opts)
-		r, err := a.Recommend(env.XMarkWorkload)
+		budget := over / 2
+		r, err := env.advisor().Recommend(ctx, env.XMarkWorkload, advisor.RecommendRequest{
+			Strategy:     strategy,
+			BudgetPages:  budget,
+			IncludeTrace: true,
+		})
 		if err != nil {
 			return "", err
 		}
 		fmt.Fprintf(&sb, "\n[%s] budget=%d pages -> %d indexes, %d pages, net %.1f\n",
-			kind, opts.DiskBudgetPages, len(r.Config), r.TotalPages, r.NetBenefit)
-		for _, line := range r.Trace {
-			fmt.Fprintf(&sb, "  %s\n", line)
+			strategy, budget, len(r.Indexes), r.TotalPages, r.NetBenefit)
+		for _, ev := range r.Trace {
+			fmt.Fprintf(&sb, "  %s\n", ev.String())
 		}
 	}
 	return sb.String(), nil
@@ -74,15 +69,14 @@ func E4RecommendationAnalysis(env *Env) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	opts := core.DefaultOptions()
-	opts.DiskBudgetPages = over / 2
-	a := env.advisor(opts)
-	rec, err := a.Recommend(env.XMarkWorkload)
+	budget := over / 2
+	rec, err := env.advisor().Recommend(context.Background(), env.XMarkWorkload,
+		advisor.RecommendRequest{BudgetPages: budget})
 	if err != nil {
 		return "", err
 	}
 	t := newTable(fmt.Sprintf("E4: recommendation analysis (Figure 5) — budget %d pages, recommended %d pages",
-		opts.DiskBudgetPages, rec.TotalPages),
+		budget, rec.TotalPages),
 		"query", "weight", "no-index", "recommended", "overtrained", "indexes")
 	for _, qa := range rec.PerQuery {
 		t.add(qa.ID, qa.Weight, qa.CostNoIndexes, qa.CostRecommended, qa.CostOvertrained,
@@ -111,6 +105,7 @@ func pct(x, of float64) float64 {
 // benefit on held-out queries, with generalization on vs off — the
 // argument for recommending generalized configurations.
 func E5UnseenWorkload(env *Env) (string, error) {
+	ctx := context.Background()
 	full := env.XMarkWorkload
 	train, test := full.Split(0.6, 99)
 	if len(train.Queries) == 0 || len(test.Queries) == 0 {
@@ -118,25 +113,22 @@ func E5UnseenWorkload(env *Env) (string, error) {
 	}
 	t := newTable("E5: benefit on unseen queries (train 60% / test 40%)",
 		"search", "generalize", "#idx", "pages", "train benefit", "test benefit")
-	for _, kind := range []core.SearchKind{core.SearchGreedyHeuristic, core.SearchTopDown} {
+	for _, strategy := range []string{"greedy-heuristic", "topdown"} {
 		for _, gen := range []bool{false, true} {
-			opts := core.DefaultOptions()
-			opts.Search = kind
-			opts.Generalize = gen
-			a := env.advisor(opts)
-			rec, err := a.Recommend(train)
+			a := env.advisor(advisor.WithStrategy(strategy), advisor.WithGeneralize(gen))
+			rec, err := a.Recommend(ctx, train, advisor.RecommendRequest{})
 			if err != nil {
 				return "", err
 			}
-			trainNo, trainWith, err := a.EvaluateOn(train, rec.Config)
+			trainNo, trainWith, err := a.EvaluateOn(ctx, train, rec.Indexes)
 			if err != nil {
 				return "", err
 			}
-			testNo, testWith, err := a.EvaluateOn(test, rec.Config)
+			testNo, testWith, err := a.EvaluateOn(ctx, test, rec.Indexes)
 			if err != nil {
 				return "", err
 			}
-			t.add(kind.String(), fmt.Sprint(gen), len(rec.Config), rec.TotalPages,
+			t.add(strategy, fmt.Sprint(gen), len(rec.Indexes), rec.TotalPages,
 				trainNo-trainWith, testNo-testWith)
 		}
 	}
@@ -146,22 +138,22 @@ func E5UnseenWorkload(env *Env) (string, error) {
 // E6SearchStrategies compares the three search algorithms across a disk
 // budget sweep (paper §2.3): plain greedy [8] vs greedy with redundancy
 // heuristics vs top-down, reporting net benefit and how many recommended
-// indexes the optimizer never uses (redundant picks). The advisor
-// prepares the candidate space once; every (budget, strategy) cell then
-// re-searches it via Space.WithBudget on the shared what-if cache
-// instead of re-running the whole advisor per budget point — visible in
-// the falling evals / rising hit-rate columns.
+// indexes the optimizer never uses (redundant picks). One advisor
+// session holds the candidate space; every (budget, strategy) cell then
+// re-searches it on the shared what-if cache instead of re-running the
+// whole advisor per budget point — visible in the falling evals /
+// rising hit-rate columns.
 func E6SearchStrategies(env *Env) (string, error) {
 	over, err := overtrainedPages(env, env.XMarkWorkload)
 	if err != nil {
 		return "", err
 	}
 	ctx := context.Background()
-	a := env.advisor(core.DefaultOptions())
-	prep, err := a.Prepare(ctx, env.XMarkWorkload)
+	sess, err := env.advisor().Open(ctx, env.XMarkWorkload)
 	if err != nil {
 		return "", err
 	}
+	defer sess.Close()
 	t := newTable("E6: search strategies across disk budgets (fractions of overtrained size; one shared candidate space + what-if cache)",
 		"budget%", "search", "#idx", "pages", "net benefit", "#unused", "evals", "cache hit%", "kernel hit%")
 	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
@@ -169,8 +161,8 @@ func E6SearchStrategies(env *Env) (string, error) {
 		if budget < 1 {
 			budget = 1
 		}
-		for _, kind := range []core.SearchKind{core.SearchGreedyBasic, core.SearchGreedyHeuristic, core.SearchTopDown} {
-			rec, err := prep.RecommendWith(ctx, kind, budget)
+		for _, strategy := range []string{"greedy-basic", "greedy-heuristic", "topdown"} {
+			rec, err := sess.Recommend(ctx, advisor.RecommendRequest{Strategy: strategy, BudgetPages: budget})
 			if err != nil {
 				return "", err
 			}
@@ -180,8 +172,8 @@ func E6SearchStrategies(env *Env) (string, error) {
 					used[n] = true
 				}
 			}
-			unused := len(rec.Config) - len(used)
-			t.add(int(frac*100), kind.String(), len(rec.Config), rec.TotalPages, rec.NetBenefit, unused,
+			unused := len(rec.Indexes) - len(used)
+			t.add(int(frac*100), strategy, len(rec.Indexes), rec.TotalPages, rec.NetBenefit, unused,
 				rec.Evaluations, 100*rec.Cache.HitRate(), 100*rec.Kernel.HitRate())
 		}
 	}
@@ -190,8 +182,8 @@ func E6SearchStrategies(env *Env) (string, error) {
 
 // E14StrategyPortfolio compares every registered strategy — including
 // the race portfolio — side-by-side at half the overtrained budget on
-// the XMark and TPoX workloads. Each workload prepares one candidate
-// space; the strategies (and the race's concurrent members) share its
+// the XMark and TPoX workloads. Each workload opens one advisor
+// session; the strategies (and the race's concurrent members) share its
 // what-if cache, so the portfolio's marginal cost over its most
 // expensive member is small, while its net benefit matches the best
 // member by construction.
@@ -210,21 +202,21 @@ func E14StrategyPortfolio(env *Env) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		a := env.advisor(core.DefaultOptions())
-		prep, err := a.Prepare(ctx, wl.w)
+		sess, err := env.advisor().Open(ctx, wl.w)
 		if err != nil {
 			return "", err
 		}
+		defer sess.Close()
 		budget := over / 2
 		if budget < 1 {
 			budget = 1
 		}
-		for _, name := range search.Names() {
-			rec, err := prep.RecommendWith(ctx, core.SearchKind(name), budget)
+		for _, name := range advisor.Strategies() {
+			rec, err := sess.Recommend(ctx, advisor.RecommendRequest{Strategy: name, BudgetPages: budget})
 			if err != nil {
 				return "", err
 			}
-			t.add(wl.name, name, len(rec.Config), rec.TotalPages, rec.NetBenefit, rec.Search.Rounds,
+			t.add(wl.name, name, len(rec.Indexes), rec.TotalPages, rec.NetBenefit, rec.Search.Rounds,
 				rec.Search.Elapsed.Milliseconds(), rec.Evaluations, 100*rec.Cache.HitRate(), rec.Search.Winner)
 		}
 	}

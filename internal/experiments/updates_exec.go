@@ -6,7 +6,7 @@ import (
 	"math"
 	"strings"
 
-	"repro/internal/core"
+	"repro/advisor"
 	"repro/internal/datagen"
 	"repro/internal/executor"
 	"repro/internal/optimizer"
@@ -29,12 +29,12 @@ func E7UpdateCost(env *Env) (string, error) {
 		if ratio > 0 {
 			datagen.XMarkUpdates(w, ratio*w.TotalQueryWeight(), 1)
 		}
-		a := env.advisor(core.DefaultOptions())
-		prep, err := a.Prepare(ctx, w)
+		sess, err := env.advisor().Open(ctx, w)
 		if err != nil {
 			return "", err
 		}
-		unlimited, err := prep.RecommendWith(ctx, core.SearchGreedyHeuristic, 0)
+		defer sess.Close()
+		unlimited, err := sess.Recommend(ctx, advisor.RecommendRequest{Strategy: "greedy-heuristic"})
 		if err != nil {
 			return "", err
 		}
@@ -53,11 +53,12 @@ func E7UpdateCost(env *Env) (string, error) {
 		for _, row := range rows {
 			rec := unlimited
 			if row.budget > 0 {
-				if rec, err = prep.RecommendWith(ctx, core.SearchGreedyHeuristic, row.budget); err != nil {
+				if rec, err = sess.Recommend(ctx, advisor.RecommendRequest{
+					Strategy: "greedy-heuristic", BudgetPages: row.budget}); err != nil {
 					return "", err
 				}
 			}
-			t.add(fmt.Sprintf("%.1f", ratio), row.label, len(rec.Config), rec.TotalPages,
+			t.add(fmt.Sprintf("%.1f", ratio), row.label, len(rec.Indexes), rec.TotalPages,
 				rec.QueryBenefit, rec.UpdateCost, rec.NetBenefit, rec.Evaluations)
 		}
 	}
@@ -69,9 +70,12 @@ func E7UpdateCost(env *Env) (string, error) {
 // vs indexed plan, per query.
 func E8ActualExecution(env *Env) (string, error) {
 	cat := env.freshCatalog()
-	a := core.New(cat, core.DefaultOptions())
+	a, err := advisor.New(cat)
+	if err != nil {
+		return "", err
+	}
 	w := env.XMarkWorkload
-	rec, err := a.Recommend(w)
+	rec, err := a.Recommend(context.Background(), w, advisor.RecommendRequest{})
 	if err != nil {
 		return "", err
 	}

@@ -175,10 +175,10 @@ func OverlapsCached(p, q Pattern) bool {
 
 // CacheStats are one pair cache's monotonic counters and current size.
 type CacheStats struct {
-	Hits     int64
-	Misses   int64
-	Size     int
-	Capacity int
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Size     int   `json:"size"`
+	Capacity int   `json:"capacity"`
 }
 
 // HitRate is hits / (hits + misses), or 0 when nothing was looked up.
@@ -204,9 +204,9 @@ func (s CacheStats) Sub(earlier CacheStats) CacheStats {
 // pattern count plus per-operation cache stats, surfaced the same way
 // the what-if engine surfaces its configuration cache.
 type KernelStats struct {
-	Interned int
-	Contains CacheStats
-	Overlaps CacheStats
+	Interned int        `json:"interned"`
+	Contains CacheStats `json:"contains"`
+	Overlaps CacheStats `json:"overlaps"`
 }
 
 // String renders the snapshot as one line.

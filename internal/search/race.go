@@ -2,6 +2,7 @@ package search
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -55,24 +56,44 @@ func (r race) Search(ctx context.Context, sp *Space) (*Result, error) {
 	}
 	wg.Wait()
 
-	// A cancelled or expired shared context aborts the whole portfolio:
-	// declaring a winner among the members that happened to finish first
-	// would silently violate both the caller's deadline request and the
-	// "never worse than the best member" guarantee (the unfinished
-	// members might have won). Any other member failure is equally
-	// fatal — the plain strategies propagate evaluation errors, and the
-	// race must stay equivalent to running its members serially.
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	// A cancelled or expired shared context normally aborts the whole
+	// portfolio: declaring a winner among the members that happened to
+	// finish first would silently violate both the caller's deadline
+	// request and the "never worse than the best member" guarantee (the
+	// unfinished members might have won). The exception is the anytime
+	// mode (Space.Anytime): there the caller asked for the best result
+	// available at the deadline, so members that completed in time still
+	// compete and only an empty finisher set surfaces the deadline as an
+	// error. Any non-deadline member failure is fatal either way — the
+	// plain strategies propagate evaluation errors, and the race must
+	// stay equivalent to running its members serially.
+	finished := 0
+	for i := range members {
+		if errs[i] == nil {
+			finished++
+		}
+	}
+	// Anytime softens deadlines only: an explicit cancellation is an
+	// abort and always propagates, finished members or not.
+	expired := ctx.Err()
+	anytime := sp.Anytime && errors.Is(expired, context.DeadlineExceeded)
+	if expired != nil && (!anytime || finished == 0) {
+		return nil, expired
 	}
 	for i, name := range members {
 		if errs[i] != nil {
+			if expired != nil && errors.Is(errs[i], expired) {
+				continue // anytime: this member was cut off by the deadline
+			}
 			return nil, fmt.Errorf("search: race member %s: %w", name, errs[i])
 		}
 	}
 	var winner *Result
 	for i, name := range members {
 		res := results[i]
+		if res == nil {
+			continue
+		}
 		tr.round++
 		tr.emit(TraceEvent{Action: ActionMember, Benefit: res.Eval.Net, Pages: res.Pages,
 			Note: fmt.Sprintf("%s: %d indexes in %v", name, len(res.Config), res.Stats.Elapsed.Round(time.Millisecond))})
@@ -80,7 +101,11 @@ func (r race) Search(ctx context.Context, sp *Space) (*Result, error) {
 			winner = res
 		}
 	}
-	tr.emit(TraceEvent{Action: ActionPick, Benefit: winner.Eval.Net, Pages: winner.Pages, Note: winner.Strategy})
+	pickNote := winner.Strategy
+	if expired != nil {
+		pickNote = fmt.Sprintf("%s (deadline: %d/%d members finished)", winner.Strategy, finished, len(members))
+	}
+	tr.emit(TraceEvent{Action: ActionPick, Benefit: winner.Eval.Net, Pages: winner.Pages, Note: pickNote})
 
 	stats := tr.stats()
 	stats.Winner = winner.Strategy
@@ -89,13 +114,22 @@ func (r race) Search(ctx context.Context, sp *Space) (*Result, error) {
 	// "rounds" must be comparable to the plain strategies'.
 	stats.Rounds = winner.Stats.Rounds
 	for i := range members {
-		stats.Members = append(stats.Members, results[i].Stats)
+		if results[i] != nil {
+			stats.Members = append(stats.Members, results[i].Stats)
+		}
 	}
 	// The portfolio's trace is the winner's full step-level trace
 	// followed by the per-member summaries and the pick, so `-trace`/
 	// `-trace-json` consumers still see how the chosen configuration
-	// was built; losers' step traces stay available on Members.
+	// was built; losers' step traces stay available on Members (anytime
+	// runs list only the members that finished before the deadline).
 	trace := append(append(Trace{}, winner.Trace...), tr.events...)
+	memberResults := make([]*Result, 0, len(results))
+	for _, res := range results {
+		if res != nil {
+			memberResults = append(memberResults, res)
+		}
+	}
 	return &Result{
 		Strategy: r.Name(),
 		Config:   winner.Config,
@@ -103,7 +137,7 @@ func (r race) Search(ctx context.Context, sp *Space) (*Result, error) {
 		Eval:     winner.Eval,
 		Trace:    trace,
 		Stats:    stats,
-		Members:  results,
+		Members:  memberResults,
 	}, nil
 }
 

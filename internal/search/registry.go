@@ -41,6 +41,18 @@ func Register(s Strategy) {
 	registry[name] = s
 }
 
+// Unregister removes a registered strategy by canonical name, reporting
+// whether it was present. It exists for tests and for external plugins
+// that install temporary strategies; the built-in strategies are never
+// unregistered by the advisor itself.
+func Unregister(name string) bool {
+	regMu.Lock()
+	defer regMu.Unlock()
+	_, ok := registry[name]
+	delete(registry, name)
+	return ok
+}
+
 // Names returns the sorted canonical names of every registered
 // strategy.
 func Names() []string {

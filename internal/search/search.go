@@ -97,6 +97,18 @@ type Space struct {
 	// Counters, when non-nil, snapshots the what-if engine's cache
 	// counters; traces and stats record deltas against it.
 	Counters func() Counters
+	// Observer, when non-nil, receives every trace event as it is
+	// emitted — the streaming-progress hook. Events still accumulate in
+	// the result's Trace. The observer may be called concurrently (the
+	// race portfolio's members search at once) and must not block for
+	// long: strategies emit synchronously on their search path.
+	Observer func(TraceEvent)
+	// Anytime makes deadline-aware strategies return their best result
+	// so far when the context expires instead of failing. Today the
+	// race portfolio honors it: members that completed before the
+	// deadline still compete and the best finished member wins; only
+	// when no member finished does the deadline surface as an error.
+	Anytime bool
 }
 
 // WithBudget returns a view of the space under a different disk budget,

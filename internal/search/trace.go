@@ -59,6 +59,10 @@ type TraceEvent struct {
 	// Note carries strategy-specific detail ("over budget", a member
 	// strategy name, ...).
 	Note string `json:"note,omitempty"`
+	// Strategy names the strategy that emitted the event. Under the
+	// race portfolio a single stream interleaves events from every
+	// member, and this is how consumers tell them apart.
+	Strategy string `json:"strategy,omitempty"`
 	// Cache is the cumulative what-if counter delta since the search
 	// started (hits/misses/evaluations spent so far). The deltas are
 	// windows over the space's shared engine counters: exact when one
@@ -150,11 +154,16 @@ func newTracer(strategy string, sp *Space) *tracer {
 	return &tracer{strategy: strategy, sp: sp, start: time.Now(), base: sp.counters()}
 }
 
-// emit appends the event, stamping the round and cache deltas.
+// emit appends the event, stamping the round, strategy, and cache
+// deltas, and forwards it to the space's streaming observer, if any.
 func (t *tracer) emit(e TraceEvent) {
 	e.Round = t.round
+	e.Strategy = t.strategy
 	e.Cache = t.sp.counters().Sub(t.base)
 	t.events = append(t.events, e)
+	if t.sp.Observer != nil {
+		t.sp.Observer(e)
+	}
 }
 
 func (t *tracer) stats() Stats {

@@ -33,9 +33,9 @@ type Options struct {
 // joining an in-flight evaluation of the same configuration (the
 // singleflight path); "evaluations" counts per-query CostService calls.
 type Stats struct {
-	Hits        int64
-	Misses      int64
-	Evaluations int64
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evaluations int64 `json:"evaluations"`
 }
 
 // HitRate is hits / (hits + misses), or 0 when nothing was looked up.
