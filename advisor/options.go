@@ -177,6 +177,36 @@ func WithAnytime(on bool) Option {
 	return func(c *config) { c.core.Anytime = on }
 }
 
+// WithEagerGreedy forces the greedy-heuristic strategy's original eager
+// marginal scan (re-evaluate the whole eligible prefix every round)
+// instead of the default lazy-greedy heap. Both modes choose identical
+// configurations; eager exists as the measured baseline for the lazy
+// path's what-if call reduction (SearchStats.Evals).
+func WithEagerGreedy(on bool) Option {
+	return func(c *config) { c.core.EagerGreedy = on }
+}
+
+// WithCostBoundedRace makes the race portfolio cost-bounded: members
+// publish fully evaluated net benefits to a shared leader board and
+// abort once their remaining upper bound cannot beat the leader.
+// Aborted members are recorded in SearchStats.Members with Aborted set
+// and never win, so the winning configuration is always complete. Off
+// by default because aborted members' partial results are
+// timing-dependent, unlike the default race whose member results are
+// byte-identical to serial runs.
+func WithCostBoundedRace(on bool) Option {
+	return func(c *config) { c.core.RaceCostBound = on }
+}
+
+// WithTraceCap bounds the per-strategy search trace buffer (0 = the
+// default cap, negative = unlimited). When a search overflows the cap,
+// the trace ends with a "truncated" marker event and
+// SearchStats.TruncatedEvents counts the dropped events; streaming
+// progress events are never truncated.
+func WithTraceCap(n int) Option {
+	return func(c *config) { c.core.TraceCap = n }
+}
+
 // validate is the single defaulting/validation path for advisor
 // configuration, replacing per-command flag checks. It normalizes the
 // strategy to its canonical name.

@@ -23,6 +23,7 @@
 //	whatif <pattern>:<type>[,<pattern>:<type>...] :: <workload-file>
 //	candidates <workload-file> [rules]
 //	search <workload-file> [budget-pages]
+//	search -synthetic n=N [budget-pages]
 //	help | quit
 package main
 
@@ -46,6 +47,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/pattern"
 	"repro/internal/querylang"
+	"repro/internal/search"
 	"repro/internal/sqltype"
 	"repro/internal/store"
 	"repro/internal/whatif"
@@ -513,15 +515,20 @@ func (s *shell) cmdCandidates(rest string) error {
 	return nil
 }
 
-// cmdSearch parses "<workload-file> [budget-pages]" and compares every
-// registered search strategy side-by-side on the workload: one advisor
-// prepares the candidate space once, then each strategy (including the
-// race portfolio) searches it at the same budget on the shared what-if
-// cache.
+// cmdSearch parses "<workload-file> [budget-pages]" or "-synthetic n=N
+// [budget-pages]" and compares every registered search strategy
+// side-by-side: one advisor prepares the candidate space once (or the
+// deterministic synthetic generator builds it), then each strategy —
+// plus the eager greedy-heuristic baseline and the cost-bounded race —
+// searches it at the same budget. The evals column is each strategy's
+// exact what-if call count, which is where lazy-vs-eager shows.
 func (s *shell) cmdSearch(rest string) error {
 	fields := strings.Fields(rest)
+	if len(fields) >= 1 && fields[0] == "-synthetic" {
+		return s.cmdSearchSynthetic(fields[1:])
+	}
 	if len(fields) < 1 || len(fields) > 2 {
-		return fmt.Errorf("usage: search <workload-file> [budget-pages]")
+		return fmt.Errorf("usage: search <workload-file> [budget-pages] | search -synthetic n=N [budget-pages]")
 	}
 	text, err := os.ReadFile(fields[0])
 	if err != nil {
@@ -547,8 +554,7 @@ func (s *shell) cmdSearch(rest string) error {
 		return err
 	}
 	defer sess.Close()
-	fmt.Fprintf(s.out, "%-17s %5s %8s %12s %7s %9s %6s %6s  %s\n",
-		"strategy", "#idx", "pages", "net benefit", "rounds", "time", "evals", "hit%", "notes")
+	s.searchTableHeader()
 	for _, name := range advisor.Strategies() {
 		resp, err := sess.Recommend(ctx, advisor.RecommendRequest{Strategy: name, BudgetPages: budget})
 		if err != nil {
@@ -558,9 +564,104 @@ func (s *shell) cmdSearch(rest string) error {
 		if resp.Search.Winner != "" {
 			note = "winner " + resp.Search.Winner
 		}
-		fmt.Fprintf(s.out, "%-17s %5d %8d %12.1f %7d %9v %6d %5.0f%%  %s\n",
-			name, len(resp.Indexes), resp.TotalPages, resp.NetBenefit, resp.Search.Rounds,
-			resp.Search.Elapsed.Round(time.Millisecond), resp.Cache.Evaluations, 100*resp.Cache.HitRate(), note)
+		s.searchTableRow(name, len(resp.Indexes), resp.TotalPages, resp.NetBenefit, resp.Search.Rounds,
+			resp.Search.Elapsed, resp.Search.Evals, resp.Cache.Hits, note)
 	}
+	// Eager baseline for the lazy-greedy comparison: same candidate
+	// space, original per-round prefix re-evaluation.
+	eagerAdv, err := advisor.New(s.cat, advisor.WithParallelism(s.parallel), advisor.WithEagerGreedy(true))
+	if err != nil {
+		return err
+	}
+	eagerSess, err := eagerAdv.Open(ctx, w)
+	if err != nil {
+		return err
+	}
+	defer eagerSess.Close()
+	resp, err := eagerSess.Recommend(ctx, advisor.RecommendRequest{Strategy: "greedy-heuristic", BudgetPages: budget})
+	if err != nil {
+		return err
+	}
+	s.searchTableRow("greedy-eager", len(resp.Indexes), resp.TotalPages, resp.NetBenefit, resp.Search.Rounds,
+		resp.Search.Elapsed, resp.Search.Evals, resp.Cache.Hits, "eager marginal scan")
 	return nil
+}
+
+// cmdSearchSynthetic drives the deterministic synthetic candidate-space
+// generator ("search -synthetic n=N [budget-pages]"): no documents, no
+// optimizer — just the search layer at scale, with the eager baseline
+// and the cost-bounded race alongside the registered strategies.
+func (s *shell) cmdSearchSynthetic(fields []string) error {
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("usage: search -synthetic n=N [budget-pages]")
+	}
+	spec := strings.TrimPrefix(fields[0], "n=")
+	n, err := strconv.Atoi(spec)
+	if err != nil || n < 1 {
+		return fmt.Errorf("bad candidate count %q: want n=N", fields[0])
+	}
+	sp := search.NewSyntheticSpace(n, 42)
+	if len(fields) == 2 {
+		budget, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad budget: %v", err)
+		}
+		sp = sp.WithBudget(budget)
+	}
+	fmt.Fprintf(s.out, "synthetic space: %d candidates (%d DAG roots), budget %d pages, seed 42\n",
+		len(sp.Candidates), len(sp.DAG.Roots), sp.BudgetPages)
+	ctx := context.Background()
+	run := func(name string, tune func(*search.Space), note string) error {
+		stratName := name
+		switch name {
+		case "greedy-eager":
+			stratName = "greedy-heuristic"
+		case "race-bounded":
+			stratName = "race"
+		}
+		strat, err := search.Lookup(stratName)
+		if err != nil {
+			return err
+		}
+		view := sp.WithBudget(sp.BudgetPages)
+		if tune != nil {
+			tune(view)
+		}
+		res, err := strat.Search(ctx, view)
+		if err != nil {
+			return err
+		}
+		if res.Stats.Winner != "" {
+			note = "winner " + res.Stats.Winner
+			for _, m := range res.Members {
+				if m.Aborted {
+					note += ", " + m.Strategy + " aborted"
+				}
+			}
+		}
+		s.searchTableRow(name, len(res.Config), res.Pages, res.Eval.Net, res.Stats.Rounds,
+			res.Stats.Elapsed, res.Stats.Evals, res.Stats.Cache.Hits, note)
+		return nil
+	}
+	s.searchTableHeader()
+	for _, name := range search.Names() {
+		if err := run(name, nil, ""); err != nil {
+			return err
+		}
+	}
+	if err := run("greedy-eager", func(v *search.Space) { v.EagerGreedy = true }, "eager marginal scan"); err != nil {
+		return err
+	}
+	return run("race-bounded", func(v *search.Space) { v.RaceCostBound = true }, "")
+}
+
+func (s *shell) searchTableHeader() {
+	fmt.Fprintf(s.out, "%-17s %5s %8s %12s %7s %9s %8s %8s  %s\n",
+		"strategy", "#idx", "pages", "net benefit", "rounds", "time", "evals", "hits", "notes")
+}
+
+func (s *shell) searchTableRow(name string, idx int, pages int64, net float64, rounds int,
+	elapsed time.Duration, evals, hits int64, note string) {
+	fmt.Fprintf(s.out, "%-17s %5d %8d %12.1f %7d %9v %8d %8d  %s\n",
+		name, idx, pages, net, rounds, elapsed.Round(time.Millisecond), evals, hits, note)
 }

@@ -58,10 +58,12 @@ type Candidate struct {
 	Parents  []*Candidate
 	Children []*Candidate
 
-	// covers[b] is true when this candidate's index would serve basic
-	// candidate b (same type, containing pattern): the redundancy
-	// bitmap of the greedy heuristic.
-	covers Bitset
+	// covers lists the basic candidates this candidate's index would
+	// serve (same type, containing pattern): the redundancy coverage of
+	// the greedy heuristic. Stored sparse — a candidate typically covers
+	// a handful of basics, so per-candidate dense bitmaps would cost
+	// O(candidates × basics) bits and dominate memory at 10k+ candidates.
+	covers CoverSet
 }
 
 // Pages returns the candidate's estimated size in pages.
@@ -72,11 +74,16 @@ func (c *Candidate) Key() string {
 	return c.Collection + "|" + c.Pattern.String() + "|" + c.Type.Short()
 }
 
-// Covers is the candidate's redundancy bitmap over basic-candidate
-// indices: bit b is set when this candidate's index would serve basic
-// candidate b (same type, containing pattern). Callers must not mutate
-// the returned bitmap.
-func (c *Candidate) Covers() Bitset { return c.covers }
+// Covers is the candidate's redundancy coverage over basic-candidate
+// indices: index b is present when this candidate's index would serve
+// basic candidate b (same type, containing pattern). Callers must not
+// mutate the returned set.
+func (c *Candidate) Covers() CoverSet { return c.covers }
+
+// SetCovers installs the candidate's coverage set from a sorted list of
+// basic-candidate indices. It exists for synthetic candidate spaces
+// (benchmarks, scale tests); the pipeline fills coverage itself.
+func (c *Candidate) SetCovers(indices []int32) { c.covers = CoverSet(indices) }
 
 // String renders the candidate compactly.
 func (c *Candidate) String() string {
@@ -155,5 +162,49 @@ func (b Bitset) Each(yield func(int) bool) {
 				return
 			}
 		}
+	}
+}
+
+// CoverSet is a sparse ascending list of basic-candidate indices — one
+// candidate's redundancy coverage. Coverage sets are tiny (a candidate
+// covers the few basics its pattern contains) while the basic count
+// grows with the workload, so the sparse form keeps the whole space's
+// coverage O(total covered pairs) instead of O(candidates × basics)
+// bits. The dense Bitset remains the right shape for the single
+// "covered so far" accumulator the greedy search folds CoverSets into.
+type CoverSet []int32
+
+// Get reports whether basic-candidate index i is covered.
+func (s CoverSet) Get(i int) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(s[mid]) < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && int(s[lo]) == i
+}
+
+// Count returns the number of covered basics.
+func (s CoverSet) Count() int { return len(s) }
+
+// SubsetOf reports whether every covered index is already set in the
+// dense accumulator b.
+func (s CoverSet) SubsetOf(b Bitset) bool {
+	for _, i := range s {
+		if !b.Get(int(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// OrInto folds the coverage into the dense accumulator b.
+func (s CoverSet) OrInto(b Bitset) {
+	for _, i := range s {
+		b.Set(int(i))
 	}
 }

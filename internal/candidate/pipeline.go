@@ -356,10 +356,10 @@ func (p *Pipeline) generalize(basics []*Candidate, st *Stats) ([]*Candidate, err
 	return all, nil
 }
 
-// buildCovers fills each candidate's redundancy bitmap over the basic
-// candidates (same collection and type, containing pattern) straight
-// from the containment matrix rows — the stratum and containment tests
-// were already paid for by the DAG build.
+// buildCovers fills each candidate's sparse redundancy coverage over
+// the basic candidates (same collection and type, containing pattern)
+// straight from the containment matrix rows — the stratum and
+// containment tests were already paid for by the DAG build.
 func buildCovers(all, basics []*Candidate, mx *containmentMatrix) {
 	// generalize() builds all as basics followed by accepted proposals
 	// and the no-data prune keeps every basic, so basics[bi] == all[bi]
@@ -370,11 +370,11 @@ func buildCovers(all, basics []*Candidate, mx *containmentMatrix) {
 		}
 	}
 	for i, c := range all {
-		c.covers = NewBitset(len(basics))
+		c.covers = nil
 		row := mx.contains[i]
 		for bi := range basics {
 			if row.Get(bi) {
-				c.covers.Set(bi)
+				c.covers = append(c.covers, int32(bi))
 			}
 		}
 	}

@@ -65,6 +65,21 @@ type Options struct {
 	// the deadline still compete and the best finished member wins.
 	Anytime bool
 
+	// EagerGreedy forces greedy-heuristic's original eager marginal
+	// scan instead of the default lazy-greedy heap. Both choose the
+	// same configuration; eager is the measured baseline for the lazy
+	// path's what-if call reduction.
+	EagerGreedy bool
+	// RaceCostBound makes the race portfolio cost-bounded: members
+	// publish fully evaluated nets to a shared leader board and abort
+	// once their remaining upper bound cannot beat the leader (aborted
+	// members are recorded in the search stats and never win).
+	RaceCostBound bool
+	// TraceCap bounds the per-strategy search trace buffer: 0 means
+	// the search layer's default, negative means unlimited. Truncation
+	// is recorded in the search stats.
+	TraceCap int
+
 	// Parallelism bounds concurrent what-if query evaluations in the
 	// costing engine; 0 means GOMAXPROCS.
 	Parallelism int

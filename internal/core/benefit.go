@@ -88,14 +88,52 @@ func (a *Advisor) newEvaluator(ctx context.Context, w *workload.Workload) (*eval
 // is cheap (no optimizer calls).
 func (ev *evaluator) eval(ctx context.Context, cfg []*Candidate) (*configEval, error) {
 	defs := make([]*catalog.IndexDef, len(cfg))
-	defByName := make(map[string]int, len(cfg))
 	for i, c := range cfg {
 		defs[i] = c.Def
-		defByName[c.Def.Name] = c.ID
 	}
 	res, err := ev.bound.EvaluateConfig(ctx, defs)
 	if err != nil {
 		return nil, err
+	}
+	return ev.derive(res, cfg), nil
+}
+
+// evalBatch evaluates base+{c} for a burst of candidates as one unit:
+// the whole burst goes to the whatif engine's batch entry point in one
+// dispatch, then each result gets the same cheap derivation as eval.
+// Results are in cands order.
+func (ev *evaluator) evalBatch(ctx context.Context, base, cands []*Candidate) ([]*configEval, error) {
+	baseDefs := make([]*catalog.IndexDef, len(base))
+	for i, c := range base {
+		baseDefs[i] = c.Def
+	}
+	configs := make([][]*catalog.IndexDef, len(cands))
+	cfgs := make([][]*Candidate, len(cands))
+	for i, c := range cands {
+		defs := make([]*catalog.IndexDef, 0, len(base)+1)
+		defs = append(append(defs, baseDefs...), c.Def)
+		configs[i] = defs
+		cfg := make([]*Candidate, 0, len(base)+1)
+		cfgs[i] = append(append(cfg, base...), c)
+	}
+	results, err := ev.bound.EvaluateConfigBatch(ctx, configs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*configEval, len(cands))
+	for i, res := range results {
+		out[i] = ev.derive(res, cfgs[i])
+	}
+	return out, nil
+}
+
+// derive turns the engine's per-query costs into the workload-level
+// aggregates (weighted benefit, update cost, candidate usage). No
+// optimizer calls.
+func (ev *evaluator) derive(res *whatif.ConfigEval, cfg []*Candidate) *configEval {
+	defByName := make(map[string]int, len(cfg))
+	for _, c := range cfg {
+		defByName[c.Def.Name] = c.ID
 	}
 	out := &configEval{UsedSet: map[int]bool{}}
 	for qi, e := range ev.w.Queries {
@@ -113,7 +151,7 @@ func (ev *evaluator) eval(ctx context.Context, cfg []*Candidate) (*configEval, e
 	}
 	out.UpdateCost = ev.updateCost(cfg)
 	out.Net = out.QueryBenefit - out.UpdateCost
-	return out, nil
+	return out
 }
 
 // searchEvaluator adapts the advisor's evaluator to the search layer's
@@ -136,6 +174,25 @@ func (s searchEvaluator) Evaluate(ctx context.Context, cfg []*Candidate) (*searc
 		Net:          e.Net,
 		Used:         e.UsedSet,
 	}, nil
+}
+
+// EvaluateBatch prices base+{c} for a whole burst of candidates in one
+// whatif-engine dispatch — the search layer's BatchEvaluator fast path.
+func (s searchEvaluator) EvaluateBatch(ctx context.Context, base, cands []*search.Candidate) ([]*search.Eval, error) {
+	evals, err := s.ev.evalBatch(ctx, base, cands)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*search.Eval, len(evals))
+	for i, e := range evals {
+		out[i] = &search.Eval{
+			QueryBenefit: e.QueryBenefit,
+			UpdateCost:   e.UpdateCost,
+			Net:          e.Net,
+			Used:         e.UsedSet,
+		}
+	}
+	return out, nil
 }
 
 // Workers is the what-if engine's evaluation parallelism.

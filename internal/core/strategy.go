@@ -105,6 +105,9 @@ func (a *Advisor) Prepare(ctx context.Context, w *workload.Workload) (*Prepared,
 		Eval:             searchEvaluator{ev},
 		InteractionAware: a.opts.InteractionAware,
 		Anytime:          a.opts.Anytime,
+		EagerGreedy:      a.opts.EagerGreedy,
+		RaceCostBound:    a.opts.RaceCostBound,
+		TraceCap:         a.opts.TraceCap,
 		Counters: func() search.Counters {
 			s := a.cost.Stats()
 			return search.Counters{Hits: s.Hits, Misses: s.Misses, Evaluations: s.Evaluations}

@@ -225,7 +225,8 @@ func TestE14(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"race", "greedy-heuristic", "topdown", "winner", "xmark", "tpox"} {
+	for _, want := range []string{"race", "greedy-heuristic", "topdown", "winner", "xmark", "tpox",
+		"syn-1k", "syn-10k", "greedy-eager", "race-bounded"} {
 		if !strings.Contains(rep, want) {
 			t.Errorf("missing %q in:\n%s", want, rep)
 		}
@@ -241,8 +242,8 @@ func TestE14(t *testing.T) {
 		}
 		raceRows++
 	}
-	if raceRows != 2 {
-		t.Errorf("expected 2 race rows (xmark, tpox), got %d:\n%s", raceRows, rep)
+	if raceRows != 4 {
+		t.Errorf("expected 4 race rows (xmark, tpox, syn-1k, syn-10k), got %d:\n%s", raceRows, rep)
 	}
 }
 

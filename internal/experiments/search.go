@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/advisor"
+	"repro/internal/search"
 	"repro/internal/workload"
 )
 
@@ -218,6 +219,39 @@ func E14StrategyPortfolio(env *Env) (string, error) {
 			}
 			t.add(wl.name, name, len(rec.Indexes), rec.TotalPages, rec.NetBenefit, rec.Search.Rounds,
 				rec.Search.Elapsed.Milliseconds(), rec.Evaluations, 100*rec.Cache.HitRate(), rec.Search.Winner)
+		}
+	}
+	// Synthetic scale section: the same portfolio question at candidate
+	// counts the real workloads cannot reach, where lazy-vs-eager and
+	// cost-bounded racing actually separate. Evals here are the exact
+	// per-strategy what-if call counts from Stats.
+	for _, n := range []int{1000, 10000} {
+		sp := search.NewSyntheticSpace(n, 42)
+		wlName := fmt.Sprintf("syn-%dk", n/1000)
+		for _, variant := range []struct {
+			name string
+			base string
+			tune func(*search.Space)
+		}{
+			{"greedy-heuristic", "greedy-heuristic", nil},
+			{"greedy-eager", "greedy-heuristic", func(v *search.Space) { v.EagerGreedy = true }},
+			{"race", "race", nil},
+			{"race-bounded", "race", func(v *search.Space) { v.RaceCostBound = true }},
+		} {
+			strat, err := search.Lookup(variant.base)
+			if err != nil {
+				return "", err
+			}
+			view := sp.WithBudget(sp.BudgetPages)
+			if variant.tune != nil {
+				variant.tune(view)
+			}
+			res, err := strat.Search(ctx, view)
+			if err != nil {
+				return "", err
+			}
+			t.add(wlName, variant.name, len(res.Config), res.Pages, res.Eval.Net, res.Stats.Rounds,
+				res.Stats.Elapsed.Milliseconds(), res.Stats.Evals, 0.0, res.Stats.Winner)
 		}
 	}
 	return t.String(), nil

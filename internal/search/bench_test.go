@@ -48,6 +48,87 @@ func benchmarkSpace(b *testing.B) *search.Space {
 	return benchSpace
 }
 
+var (
+	scaleMu     sync.Mutex
+	scaleSpaces = map[int]*search.Space{}
+)
+
+// syntheticSpace returns the shared synthetic space with n basic
+// candidates (built once per size; the spaces are immutable and the
+// per-strategy eval counters live in the results, not the space).
+func syntheticSpace(b *testing.B, n int) *search.Space {
+	b.Helper()
+	scaleMu.Lock()
+	defer scaleMu.Unlock()
+	sp, ok := scaleSpaces[n]
+	if !ok {
+		sp = search.NewSyntheticSpace(n, 42)
+		scaleSpaces[n] = sp
+	}
+	return sp
+}
+
+// BenchmarkSearchScale is the scale trajectory behind BENCH_search.json:
+// the synthetic candidate space at 1k/10k/50k candidates, comparing the
+// lazy-greedy heap against the eager baseline and the cost-bounded race
+// against the plain portfolio. evals/op is each strategy's exact
+// what-if call count (Stats.Evals), the quantity the lazy path exists
+// to shrink. The slowest variants are skipped at 50k to keep the CI
+// -benchtime=1x smoke seconds-scale.
+func BenchmarkSearchScale(b *testing.B) {
+	variants := []struct {
+		name  string
+		strat string
+		tune  func(*search.Space)
+	}{
+		{"greedy-eager", "greedy-heuristic", func(sp *search.Space) { sp.EagerGreedy = true }},
+		{"greedy-lazy", "greedy-heuristic", nil},
+		{"race", "race", nil},
+		{"race-bounded", "race", func(sp *search.Space) { sp.RaceCostBound = true }},
+	}
+	for _, sz := range []struct {
+		name string
+		n    int
+		skip map[string]bool
+	}{
+		{"n-1k", 1_000, nil},
+		{"n-10k", 10_000, nil},
+		{"n-50k", 50_000, map[string]bool{"greedy-eager": true, "race": true, "race-bounded": true}},
+	} {
+		b.Run(sz.name, func(b *testing.B) {
+			base := syntheticSpace(b, sz.n)
+			for _, v := range variants {
+				if sz.skip[v.name] {
+					continue
+				}
+				strat, err := search.Lookup(v.strat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Run(v.name, func(b *testing.B) {
+					sp := base.WithBudget(base.BudgetPages)
+					if v.tune != nil {
+						v.tune(sp)
+					}
+					ctx := context.Background()
+					var evals, rounds int64
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						res, err := strat.Search(ctx, sp)
+						if err != nil {
+							b.Fatal(err)
+						}
+						evals += res.Stats.Evals
+						rounds += int64(res.Stats.Rounds)
+					}
+					b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+					b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+				})
+			}
+		})
+	}
+}
+
 // BenchmarkSearch sweeps every registered strategy over the shared
 // space — the CI smoke step runs this under -race with -benchtime=1x so
 // strategy regressions (and data races between portfolio members) fail

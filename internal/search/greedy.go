@@ -23,7 +23,7 @@ func (greedyBasic) Name() string { return "greedy-basic" }
 
 func (g greedyBasic) Search(ctx context.Context, sp *Space) (*Result, error) {
 	tr := newTracer(g.Name(), sp)
-	alone, err := standalone(ctx, sp.Eval, sp.Candidates)
+	alone, err := standalone(ctx, tr.ev, sp.Candidates)
 	if err != nil {
 		return nil, err
 	}
@@ -56,22 +56,25 @@ func (g greedyBasic) Search(ctx context.Context, sp *Space) (*Result, error) {
 //   - reclamation: after each addition, configuration members that the
 //     optimizer no longer uses for any workload query are dropped and
 //     their space reclaimed.
+//
+// The marginal evaluation runs in one of two modes that choose
+// identical configurations: the default lazy-greedy heap (lazy.go),
+// which re-evaluates only candidates whose last-known marginal still
+// competes for the top, and the original eager prefix scan, kept
+// behind Space.EagerGreedy as the reference baseline.
 type greedyHeuristic struct{}
 
 func (greedyHeuristic) Name() string { return "greedy-heuristic" }
 
 func (g greedyHeuristic) Search(ctx context.Context, sp *Space) (*Result, error) {
 	tr := newTracer(g.Name(), sp)
-	width := bitsetWidth(sp.Candidates)
-	var config []*Candidate
-	covered := candidate.NewBitset(width)
 
 	// Candidates with no standalone benefit are dropped up front. A
 	// candidate useless alone can in principle gain value inside an
 	// index-ANDed plan, but its standalone benefit is a tight upper
 	// bound in practice and evaluating every (config, candidate) pair
 	// without it would be quadratic in optimizer calls.
-	alone, err := standalone(ctx, sp.Eval, sp.Candidates)
+	alone, err := standalone(ctx, tr.ev, sp.Candidates)
 	if err != nil {
 		return nil, err
 	}
@@ -82,14 +85,39 @@ func (g greedyHeuristic) Search(ctx context.Context, sp *Space) (*Result, error)
 		}
 	}
 	// Consider high-density candidates first so the upper-bound pruning
-	// below fires early.
+	// fires early (eager cutoff / lazy heap order).
 	remaining := rankByDensity(positive, alone)
 
-	curEval, err := sp.Eval.Evaluate(ctx, nil)
+	// The lazy heap only pays off when marginals are re-evaluated; the
+	// standalone-trusting mode does no re-evaluation, so it always runs
+	// the plain scan.
+	if sp.InteractionAware && !sp.EagerGreedy {
+		return g.lazy(ctx, sp, tr, alone, remaining)
+	}
+	return g.eager(ctx, sp, tr, alone, remaining)
+}
+
+// eager is the original marginal-evaluation loop: every round scans the
+// density-ordered eligible prefix, re-evaluating config+{c} for each
+// candidate until the standalone-density upper bound says no later
+// candidate can beat the best found.
+func (g greedyHeuristic) eager(ctx context.Context, sp *Space, tr *tracer,
+	alone map[int]*Eval, remaining []*Candidate) (*Result, error) {
+	width := bitsetWidth(sp.Candidates)
+	var config []*Candidate
+	covered := candidate.NewBitset(width)
+
+	curEval, err := tr.ev.Evaluate(ctx, nil)
 	if err != nil {
 		return nil, err
 	}
 	for {
+		if sp.leader != nil {
+			sp.leader.publish(curEval.Net)
+			if bound := greedyUpperBound(sp, curEval.Net, PagesOf(config), remaining, alone); bound < sp.leader.best() {
+				return abort(sp, tr, config, curEval, bound), nil
+			}
+		}
 		pages := PagesOf(config)
 		// Eligible candidates, in standalone-density order (inherited
 		// from the sort above): budget and redundancy filters first.
@@ -99,7 +127,7 @@ func (g greedyHeuristic) Search(ctx context.Context, sp *Space) (*Result, error)
 				continue
 			}
 			// Redundancy heuristic: covered patterns must grow.
-			if c.Covers().Subset(covered) {
+			if c.Covers().SubsetOf(covered) {
 				continue
 			}
 			elig = append(elig, c)
@@ -117,7 +145,7 @@ func (g greedyHeuristic) Search(ctx context.Context, sp *Space) (*Result, error)
 			// best found ratio. Chunk members past the cutoff were
 			// evaluated speculatively; their results are discarded, so
 			// the recommendation is independent of the worker count.
-			chunk := sp.Eval.Workers() // always >= 1
+			chunk := tr.ev.Workers() // always >= 1
 			stopped := false
 			for start := 0; start < len(elig) && !stopped; start += chunk {
 				// Free prune at the batch boundary: if the cutoff
@@ -131,7 +159,7 @@ func (g greedyHeuristic) Search(ctx context.Context, sp *Space) (*Result, error)
 					end = len(elig)
 				}
 				batch := elig[start:end]
-				evals, err := evalEach(ctx, sp.Eval, config, batch)
+				evals, err := evalEach(ctx, tr.ev, config, batch)
 				if err != nil {
 					return nil, err
 				}
@@ -157,9 +185,9 @@ func (g greedyHeuristic) Search(ctx context.Context, sp *Space) (*Result, error)
 			break
 		}
 		config = append(config, best)
-		covered.Or(best.Covers())
+		best.Covers().OrInto(covered)
 		if bestEval == nil {
-			bestEval, err = sp.Eval.Evaluate(ctx, config)
+			bestEval, err = tr.ev.Evaluate(ctx, config)
 			if err != nil {
 				return nil, err
 			}
@@ -180,13 +208,13 @@ func (g greedyHeuristic) Search(ctx context.Context, sp *Space) (*Result, error)
 		}
 		if len(pruned) != len(config) {
 			config = pruned
-			curEval, err = sp.Eval.Evaluate(ctx, config)
+			curEval, err = tr.ev.Evaluate(ctx, config)
 			if err != nil {
 				return nil, err
 			}
 			covered = candidate.NewBitset(width)
 			for _, c := range config {
-				covered.Or(c.Covers())
+				c.Covers().OrInto(covered)
 			}
 		}
 		// Remove the chosen candidate from further consideration.
@@ -199,4 +227,19 @@ func (g greedyHeuristic) Search(ctx context.Context, sp *Space) (*Result, error)
 		remaining = rest
 	}
 	return finish(ctx, sp, tr, config)
+}
+
+// greedyUpperBound is a greedy member's optimistic remaining net: the
+// current configuration's net plus every positive standalone net of a
+// candidate that still fits the budget on its own. Marginal benefits
+// cannot meaningfully exceed standalone benefits, so a member whose
+// bound trails the race leader cannot win and may abort.
+func greedyUpperBound(sp *Space, curNet float64, pages int64, remaining []*Candidate, alone map[int]*Eval) float64 {
+	bound := curNet
+	for _, c := range remaining {
+		if net := alone[c.ID].Net; net > 0 && sp.Fits(pages+c.Pages()) {
+			bound += net
+		}
+	}
+	return bound
 }

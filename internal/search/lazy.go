@@ -1,0 +1,212 @@
+package search
+
+import (
+	"container/heap"
+	"context"
+
+	"repro/internal/candidate"
+)
+
+// lazyItem is one candidate in the lazy-greedy priority queue: its
+// last-known marginal benefit density (an upper bound on the current
+// marginal), the position in the standalone density ranking (the
+// deterministic tie-break), the round the key was computed against
+// (freshness), and the evaluation that produced the key (reused as the
+// round's configuration evaluation when the item is selected).
+type lazyItem struct {
+	c     *Candidate
+	key   float64
+	pos   int
+	round int
+	eval  *Eval
+}
+
+// lazyHeap is a max-heap over (key desc, pos asc): the same order the
+// eager scan resolves ties in — earliest density-rank position wins
+// among equal marginals — so popping the heap reproduces the eager
+// selection exactly.
+type lazyHeap []*lazyItem
+
+func (h lazyHeap) Len() int { return len(h) }
+func (h lazyHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key > h[j].key
+	}
+	return h[i].pos < h[j].pos
+}
+func (h lazyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *lazyHeap) Push(x any)   { *h = append(*h, x.(*lazyItem)) }
+func (h *lazyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// lazyBurst is how many stale heap tops one refresh step re-evaluates.
+// It is the canonical CELF burst of one, and deliberately NOT derived
+// from the evaluator's worker count: the cost model is not perfectly
+// submodular (index interactions can grow a marginal, so a stale key is
+// not always a true upper bound), which makes the selection sensitive
+// to how many tops get speculatively refreshed — a runtime-dependent
+// burst would make the recommendation depend on the parallelism setting
+// (E12 pins that it does not), and any burst beyond the top itself both
+// wastes speculative evaluations and surfaces grown marginals the eager
+// scan resolves differently. Parallel workers still serve the
+// standalone seeding pass and the eager mode's round batches.
+const lazyBurst = 1
+
+// lazy is the submodular lazy-evaluation form of the interaction-aware
+// greedy heuristic (the CELF trick): keep candidates in a max-heap
+// keyed by their last-known marginal benefit density — initialized from
+// standalone nets, which upper-bound marginals — and each round
+// re-evaluate only popped tops until the freshly re-evaluated top beats
+// every stale key below it. When marginals shrink as the configuration
+// grows (submodularity), a stale key is an upper bound and the fresh
+// top is exactly the argmax the eager prefix scan finds — at a fraction
+// of the what-if calls. The real cost model can violate that locally
+// (index interactions), so lazy-vs-eager equality is additionally
+// pinned empirically by property tests on the shipped workloads.
+//
+// Two situations fall back to first principles: a candidate that fails
+// the budget or redundancy filter is parked for the round and re-tried
+// later (the filters depend on the configuration, which both grows and
+// shrinks), and a reclamation that shrinks the configuration resets
+// every key to its standalone upper bound (marginals may have grown
+// back, so last-known marginals are no longer bounds).
+func (g greedyHeuristic) lazy(ctx context.Context, sp *Space, tr *tracer,
+	alone map[int]*Eval, order []*Candidate) (*Result, error) {
+	width := bitsetWidth(sp.Candidates)
+	var config []*Candidate
+	covered := candidate.NewBitset(width)
+
+	curEval, err := tr.ev.Evaluate(ctx, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Round 1 keys are exact, not just bounds: against the empty
+	// configuration the marginal IS the standalone net, so the first
+	// selection costs no re-evaluations at all.
+	h := make(lazyHeap, 0, len(order))
+	for i, c := range order {
+		h = append(h, &lazyItem{c: c, key: ratio(alone[c.ID].Net, c.Pages()), pos: i, round: 1, eval: alone[c.ID]})
+	}
+	heap.Init(&h)
+
+	round := 1
+	var parked []*lazyItem
+	for {
+		if sp.leader != nil {
+			sp.leader.publish(curEval.Net)
+			bound := curEval.Net
+			pages := PagesOf(config)
+			for _, it := range h {
+				if net := alone[it.c.ID].Net; net > 0 && sp.Fits(pages+it.c.Pages()) {
+					bound += net
+				}
+			}
+			if bound < sp.leader.best() {
+				return abort(sp, tr, config, curEval, bound), nil
+			}
+		}
+		pages := PagesOf(config)
+		parked = parked[:0]
+		var selected *lazyItem
+		for {
+			// Collect a burst of stale tops, parking tops that fail the
+			// round's budget/redundancy filters along the way.
+			var batch []*lazyItem
+			for len(h) > 0 && len(batch) < lazyBurst {
+				top := h[0]
+				if top.key <= 0 {
+					// Keys are upper bounds: nothing below the top can
+					// have a positive marginal, fresh or not.
+					break
+				}
+				if !sp.Fits(pages+top.c.Pages()) || top.c.Covers().SubsetOf(covered) {
+					heap.Pop(&h)
+					parked = append(parked, top)
+					continue
+				}
+				if top.round == round {
+					break // fresh: no stale key above it can compete
+				}
+				heap.Pop(&h)
+				batch = append(batch, top)
+			}
+			if len(batch) == 0 {
+				if len(h) == 0 || h[0].key <= 0 {
+					break // nothing eligible with a positive marginal
+				}
+				// The collection stopped on a fresh, positive top: the
+				// exact argmax of this round's marginals.
+				selected = heap.Pop(&h).(*lazyItem)
+				break
+			}
+			cands := make([]*Candidate, len(batch))
+			for i, it := range batch {
+				cands[i] = it.c
+			}
+			evals, err := evalEach(ctx, tr.ev, config, cands)
+			if err != nil {
+				return nil, err
+			}
+			for i, it := range batch {
+				it.key = ratio(evals[i].Net-curEval.Net, it.c.Pages())
+				it.round = round
+				it.eval = evals[i]
+				heap.Push(&h, it)
+			}
+		}
+		// Parked items stay candidates for later rounds: the budget
+		// filter can pass again after reclamation shrinks the
+		// configuration, and redundancy is re-checked per round.
+		for _, it := range parked {
+			heap.Push(&h, it)
+		}
+		if selected == nil {
+			break
+		}
+
+		config = append(config, selected.c)
+		selected.c.Covers().OrInto(covered)
+		curEval = selected.eval
+		tr.round++
+		tr.emit(TraceEvent{Action: ActionAdd, Candidate: selected.c.Key(), Benefit: curEval.Net,
+			Pages: PagesOf(config), Covered: covered.Count(), Of: width})
+
+		// Reclaim space held by members no plan uses anymore.
+		pruned := config[:0:0]
+		for _, c := range config {
+			if curEval.Used[c.ID] {
+				pruned = append(pruned, c)
+			} else {
+				tr.emit(TraceEvent{Action: ActionReclaim, Candidate: c.Key(), Note: "unused under current config"})
+			}
+		}
+		if len(pruned) != len(config) {
+			config = pruned
+			curEval, err = tr.ev.Evaluate(ctx, config)
+			if err != nil {
+				return nil, err
+			}
+			covered = candidate.NewBitset(width)
+			for _, c := range config {
+				c.Covers().OrInto(covered)
+			}
+			// The configuration shrank, so marginals may have grown:
+			// last-known marginals are no longer upper bounds. Standalone
+			// nets still are — reset every key to that bound.
+			for _, it := range h {
+				it.key = ratio(alone[it.c.ID].Net, it.c.Pages())
+				it.round = 0
+				it.eval = alone[it.c.ID]
+			}
+			heap.Init(&h)
+		}
+		round++
+	}
+	return finish(ctx, sp, tr, config)
+}

@@ -24,6 +24,15 @@ func init() {
 // by fewer pages, then by strategy name — so racing in parallel returns
 // the same configuration as running each member serially and picking by
 // the same rule.
+//
+// With Space.RaceCostBound the race is additionally cost-bounded:
+// members publish every fully evaluated net to a shared leader board
+// and abort once their remaining upper bound cannot beat it. Aborted
+// members are excluded from the winner pick (their partial result is
+// recorded in Members with Stats.Aborted), so the winner is still a
+// complete, budget-respecting configuration — but which members abort
+// depends on timing, so cost-bounded member results are not
+// byte-identical to serial runs and the mode is opt-in.
 type race struct{}
 
 func (race) Name() string { return "race" }
@@ -39,6 +48,12 @@ func (r race) Search(ctx context.Context, sp *Space) (*Result, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("search: race has no member strategies")
 	}
+	spRun := sp
+	if sp.RaceCostBound {
+		run := *sp
+		run.leader = newLeaderBoard()
+		spRun = &run
+	}
 
 	results := make([]*Result, len(members))
 	errs := make([]error, len(members))
@@ -51,7 +66,7 @@ func (r race) Search(ctx context.Context, sp *Space) (*Result, error) {
 		wg.Add(1)
 		go func(i int, strat Strategy) {
 			defer wg.Done()
-			results[i], errs[i] = strat.Search(ctx, sp)
+			results[i], errs[i] = strat.Search(ctx, spRun)
 		}(i, strat)
 	}
 	wg.Wait()
@@ -95,11 +110,21 @@ func (r race) Search(ctx context.Context, sp *Space) (*Result, error) {
 			continue
 		}
 		tr.round++
-		tr.emit(TraceEvent{Action: ActionMember, Benefit: res.Eval.Net, Pages: res.Pages,
-			Note: fmt.Sprintf("%s: %d indexes in %v", name, len(res.Config), res.Stats.Elapsed.Round(time.Millisecond))})
-		if better(res, winner) {
+		note := fmt.Sprintf("%s: %d indexes in %v", name, len(res.Config), res.Stats.Elapsed.Round(time.Millisecond))
+		if res.Aborted {
+			note = fmt.Sprintf("%s: aborted (cost bound) in %v", name, res.Stats.Elapsed.Round(time.Millisecond))
+		}
+		tr.emit(TraceEvent{Action: ActionMember, Benefit: res.Eval.Net, Pages: res.Pages, Note: note})
+		// Aborted members stopped with a partial configuration; only
+		// members that finished compete for the win.
+		if !res.Aborted && better(res, winner) {
 			winner = res
 		}
+	}
+	if winner == nil {
+		// Unreachable in practice: greedy-basic never aborts, so a
+		// cost-bounded race always has at least one finisher.
+		return nil, fmt.Errorf("search: race has no surviving member")
 	}
 	pickNote := winner.Strategy
 	if expired != nil {
@@ -116,6 +141,9 @@ func (r race) Search(ctx context.Context, sp *Space) (*Result, error) {
 	for i := range members {
 		if results[i] != nil {
 			stats.Members = append(stats.Members, results[i].Stats)
+			// The portfolio's what-if spend is the sum of its members'
+			// (the race itself evaluates nothing).
+			stats.Evals += results[i].Stats.Evals
 		}
 	}
 	// The portfolio's trace is the winner's full step-level trace

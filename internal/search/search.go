@@ -19,8 +19,11 @@ package search
 
 import (
 	"context"
+	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/candidate"
 )
@@ -54,6 +57,45 @@ type Evaluator interface {
 	// Workers is the evaluator's useful concurrency (>= 1); strategies
 	// size their speculative evaluation batches by it.
 	Workers() int
+}
+
+// BatchEvaluator is the optional fast path of an Evaluator: evaluate
+// base+{c} for a whole burst of candidates as one unit, so the backend
+// can dispatch the burst to its worker pool in one call instead of
+// paying per-candidate call and synchronization overhead. Results are
+// in cands order. Strategies use it through evalEach, which falls back
+// to per-candidate fan-out when the evaluator does not implement it.
+type BatchEvaluator interface {
+	Evaluator
+	EvaluateBatch(ctx context.Context, base, cands []*Candidate) ([]*Eval, error)
+}
+
+// countingEvaluator wraps a strategy's evaluator with an exact call
+// counter (one per configuration priced). Every strategy evaluates
+// through its tracer's countingEvaluator, which is what makes
+// Stats.Evals per-strategy exact where the shared cache counters are
+// not.
+type countingEvaluator struct {
+	inner Evaluator
+	calls atomic.Int64
+}
+
+func (c *countingEvaluator) Evaluate(ctx context.Context, cfg []*Candidate) (*Eval, error) {
+	c.calls.Add(1)
+	return c.inner.Evaluate(ctx, cfg)
+}
+
+func (c *countingEvaluator) Workers() int { return c.inner.Workers() }
+
+// EvaluateBatch counts the whole burst and forwards it to the inner
+// evaluator's batch entry point when it has one, else to the shared
+// fan-out.
+func (c *countingEvaluator) EvaluateBatch(ctx context.Context, base, cands []*Candidate) ([]*Eval, error) {
+	c.calls.Add(int64(len(cands)))
+	if be, ok := c.inner.(BatchEvaluator); ok {
+		return be.EvaluateBatch(ctx, base, cands)
+	}
+	return fanOutEach(ctx, c.inner, base, cands)
 }
 
 // Counters are what-if cache counter snapshots (or deltas), threaded
@@ -109,6 +151,31 @@ type Space struct {
 	// deadline still compete and the best finished member wins; only
 	// when no member finished does the deadline surface as an error.
 	Anytime bool
+	// EagerGreedy forces greedy-heuristic's original eager marginal
+	// scan (re-evaluate the density-ordered eligible prefix every
+	// round) instead of the default lazy-greedy heap. The two paths
+	// choose identical configurations; eager exists as the reference
+	// baseline and for measuring the lazy path's what-if call
+	// reduction.
+	EagerGreedy bool
+	// TraceCap bounds the per-strategy trace event buffer: 0 means
+	// DefaultTraceCap, negative means unlimited. When the cap is hit
+	// the buffer ends with an ActionTruncated marker and
+	// Stats.Truncated counts the dropped events; streaming Observers
+	// always receive the full stream.
+	TraceCap int
+	// RaceCostBound makes the race portfolio cost-bounded: members
+	// publish their best net benefit to a shared leader board and a
+	// member aborts once its remaining upper bound (current net plus
+	// every positive standalone net still fitting the budget) cannot
+	// beat the leader. Aborted members are recorded in the result's
+	// Members with Stats.Aborted set and never win. Off by default
+	// because an aborted member's partial result is no longer
+	// byte-identical to running it serially.
+	RaceCostBound bool
+	// leader is the shared race leader board, set on the per-member
+	// space copies by the race strategy when RaceCostBound is on.
+	leader *leaderBoard
 }
 
 // WithBudget returns a view of the space under a different disk budget,
@@ -152,6 +219,11 @@ type Result struct {
 	// Members holds the per-member results of a portfolio run (the
 	// race strategy); nil for plain strategies.
 	Members []*Result
+	// Aborted marks a cost-bounded race member that stopped early
+	// because its remaining upper bound could not beat the leader; the
+	// Config/Eval are whatever the member had when it stopped, and the
+	// race never picks an aborted member as winner.
+	Aborted bool
 }
 
 // Strategy is one pluggable configuration-search algorithm.
@@ -220,10 +292,56 @@ func rankByDensity(cands []*Candidate, alone map[int]*Eval) []*Candidate {
 	return order
 }
 
-// evalEach evaluates base+{c} for every candidate in cands
-// concurrently, bounded by the evaluator's worker count. Results are in
-// cands order.
+// leaderBoard is the race portfolio's shared best-net publication
+// point: members publish the net benefit of configurations they have
+// fully evaluated, and cost-bounded members abort once their remaining
+// upper bound cannot beat the board. The member holding the maximum
+// final net can never abort (its own bound is at least its final net,
+// which is at least the leader), so at least one member always
+// survives.
+type leaderBoard struct {
+	bits atomic.Uint64
+}
+
+func newLeaderBoard() *leaderBoard {
+	lb := &leaderBoard{}
+	lb.bits.Store(math.Float64bits(math.Inf(-1)))
+	return lb
+}
+
+// publish raises the board to net if it is a new maximum.
+func (l *leaderBoard) publish(net float64) {
+	for {
+		old := l.bits.Load()
+		if math.Float64frombits(old) >= net {
+			return
+		}
+		if l.bits.CompareAndSwap(old, math.Float64bits(net)) {
+			return
+		}
+	}
+}
+
+// best returns the highest published net (-Inf before any publication).
+func (l *leaderBoard) best() float64 {
+	return math.Float64frombits(l.bits.Load())
+}
+
+// evalEach evaluates base+{c} for every candidate in cands as one
+// burst: through the evaluator's batch entry point when it has one,
+// else by per-candidate fan-out bounded by the worker count. Results
+// are in cands order.
 func evalEach(ctx context.Context, ev Evaluator, base, cands []*Candidate) ([]*Eval, error) {
+	if be, ok := ev.(BatchEvaluator); ok {
+		return be.EvaluateBatch(ctx, base, cands)
+	}
+	return fanOutEach(ctx, ev, base, cands)
+}
+
+// fanOutEach is the per-candidate fallback of evalEach: one Evaluate
+// call per candidate, concurrently, bounded by the evaluator's worker
+// count.
+func fanOutEach(ctx context.Context, ev Evaluator, base, cands []*Candidate) ([]*Eval, error) {
 	out := make([]*Eval, len(cands))
 	var (
 		wg       sync.WaitGroup
@@ -278,11 +396,15 @@ func standalone(ctx context.Context, ev Evaluator, cands []*Candidate) (map[int]
 	return out, nil
 }
 
-// finish evaluates the final configuration and assembles the Result.
+// finish evaluates the final configuration and assembles the Result,
+// publishing the final net to the race leader board when one is wired.
 func finish(ctx context.Context, sp *Space, tr *tracer, config []*Candidate) (*Result, error) {
-	final, err := sp.Eval.Evaluate(ctx, config)
+	final, err := tr.ev.Evaluate(ctx, config)
 	if err != nil {
 		return nil, err
+	}
+	if sp.leader != nil {
+		sp.leader.publish(final.Net)
 	}
 	return &Result{
 		Strategy: tr.strategy,
@@ -292,4 +414,23 @@ func finish(ctx context.Context, sp *Space, tr *tracer, config []*Candidate) (*R
 		Trace:    tr.events,
 		Stats:    tr.stats(),
 	}, nil
+}
+
+// abort assembles the Result of a cost-bounded member that stopped
+// early: the partial configuration it had (possibly none), the last
+// evaluation it paid for, and Stats.Aborted set. No final evaluation is
+// spent — the whole point of aborting is to stop paying.
+func abort(sp *Space, tr *tracer, config []*Candidate, cur *Eval, bound float64) *Result {
+	tr.aborted = true
+	tr.emit(TraceEvent{Action: ActionAbort, Benefit: cur.Net, Pages: PagesOf(config),
+		Note: fmt.Sprintf("cost bound: remaining upper bound %.1f cannot beat leader %.1f", bound, sp.leader.best())})
+	return &Result{
+		Strategy: tr.strategy,
+		Config:   config,
+		Pages:    PagesOf(config),
+		Eval:     cur,
+		Trace:    tr.events,
+		Stats:    tr.stats(),
+		Aborted:  true,
+	}
 }

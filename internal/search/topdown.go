@@ -24,7 +24,7 @@ func (t topDown) Search(ctx context.Context, sp *Space) (*Result, error) {
 		return nil, fmt.Errorf("search: topdown needs a containment DAG (Space.DAG is nil)")
 	}
 	tr := newTracer(t.Name(), sp)
-	alone, err := standalone(ctx, sp.Eval, sp.DAG.Nodes)
+	alone, err := standalone(ctx, tr.ev, sp.DAG.Nodes)
 	if err != nil {
 		return nil, err
 	}
@@ -43,6 +43,22 @@ func (t topDown) Search(ctx context.Context, sp *Space) (*Result, error) {
 		inConfig[c.ID] = true
 	}
 	for !sp.Fits(PagesOf(config)) && len(config) > 0 {
+		if sp.leader != nil {
+			// Optimistic bound on the descent's final net: the sum of
+			// the current members' positive standalone nets (benefits
+			// at most add up; every further descent step only drops or
+			// specializes members). Trailing the leader means the
+			// remaining rounds cannot produce a winner.
+			bound := 0.0
+			for _, c := range config {
+				if net := alone[c.ID].Net; net > 0 {
+					bound += net
+				}
+			}
+			if bound < sp.leader.best() {
+				return abort(sp, tr, nil, &Eval{}, bound), nil
+			}
+		}
 		// Victim: the member with the worst standalone net benefit per
 		// page (general, large, weakly used indexes go first).
 		vi := 0
@@ -74,7 +90,7 @@ func (t topDown) Search(ctx context.Context, sp *Space) (*Result, error) {
 	// loop handles that by further descents. Finally drop any members
 	// the optimizer does not use.
 	if len(config) > 0 {
-		full, err := sp.Eval.Evaluate(ctx, config)
+		full, err := tr.ev.Evaluate(ctx, config)
 		if err != nil {
 			return nil, err
 		}

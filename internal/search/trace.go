@@ -32,6 +32,15 @@ const (
 	ActionMember Action = "member"
 	// ActionPick records the portfolio winner (race).
 	ActionPick Action = "pick"
+	// ActionAbort records a portfolio member stopping early because its
+	// remaining upper bound cannot beat the current race leader
+	// (cost-bounded racing).
+	ActionAbort Action = "abort"
+	// ActionTruncated marks the point where the per-strategy trace
+	// buffer hit its cap (Space.TraceCap); it is the buffer's final
+	// event, and Stats.Truncated counts the events dropped after it.
+	// Streaming observers still receive every event.
+	ActionTruncated Action = "truncated"
 )
 
 // TraceEvent is one structured search step: which round, what happened,
@@ -70,6 +79,11 @@ type TraceEvent struct {
 	// searches share the engine concurrently (the race portfolio's
 	// members each observe the whole portfolio's work).
 	Cache Counters `json:"cache"`
+	// Evals is the cumulative count of configuration evaluations this
+	// strategy itself has requested so far — unlike Cache, it is exact
+	// per strategy even when portfolio members run concurrently, which
+	// is what makes the lazy-greedy call reduction observable.
+	Evals int64 `json:"evals"`
 }
 
 // String renders the event as one text line.
@@ -125,42 +139,95 @@ type Stats struct {
 	Rounds   int           `json:"rounds"`
 	Elapsed  time.Duration `json:"elapsedNs"`
 	Cache    Counters      `json:"cache"`
-	Winner   string        `json:"winner,omitempty"`
-	Members  []Stats       `json:"members,omitempty"`
+	// Evals counts the configuration evaluations this strategy itself
+	// requested (what-if calls). Exact per strategy, unlike the Cache
+	// windows; for the race portfolio it is the sum over all members.
+	Evals int64 `json:"evals"`
+	// Truncated counts trace events dropped after the per-strategy
+	// buffer hit its cap (Space.TraceCap); 0 when the full trace fit.
+	Truncated int `json:"truncatedEvents,omitempty"`
+	// Aborted marks a portfolio member that stopped early under
+	// cost-bounded racing because its remaining upper bound could not
+	// beat the leader; aborted members never win the race.
+	Aborted bool    `json:"aborted,omitempty"`
+	Winner  string  `json:"winner,omitempty"`
+	Members []Stats `json:"members,omitempty"`
 }
 
 // String renders the stats as one line.
 func (s Stats) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "search[%s]: %d rounds in %v; cache %d hits / %d misses / %d evaluations",
-		s.Strategy, s.Rounds, s.Elapsed.Round(time.Millisecond), s.Cache.Hits, s.Cache.Misses, s.Cache.Evaluations)
+	fmt.Fprintf(&sb, "search[%s]: %d rounds, %d what-if calls in %v; cache %d hits / %d misses / %d evaluations",
+		s.Strategy, s.Rounds, s.Evals, s.Elapsed.Round(time.Millisecond), s.Cache.Hits, s.Cache.Misses, s.Cache.Evaluations)
+	if s.Aborted {
+		sb.WriteString("; aborted (cost bound)")
+	}
 	if s.Winner != "" {
 		fmt.Fprintf(&sb, "; winner %s", s.Winner)
+	}
+	if s.Truncated > 0 {
+		fmt.Fprintf(&sb, "; trace truncated (%d events dropped)", s.Truncated)
 	}
 	return sb.String()
 }
 
-// tracer accumulates trace events and run stats for one search.
+// DefaultTraceCap is the per-strategy trace buffer cap used when
+// Space.TraceCap is 0: generous enough for every real workload while
+// keeping a 50k-candidate synthetic run from accumulating hundreds of
+// thousands of events.
+const DefaultTraceCap = 4096
+
+// tracer accumulates trace events and run stats for one search. It also
+// wraps the space's evaluator in a per-strategy call counter: every
+// strategy routes its evaluations through tracer.ev, so Stats.Evals and
+// TraceEvent.Evals are exact even when portfolio members share the
+// engine concurrently.
 type tracer struct {
-	strategy string
-	sp       *Space
-	start    time.Time
-	base     Counters
-	round    int
-	events   Trace
+	strategy  string
+	sp        *Space
+	ev        *countingEvaluator
+	start     time.Time
+	base      Counters
+	round     int
+	cap       int
+	truncated int
+	aborted   bool
+	events    Trace
 }
 
 func newTracer(strategy string, sp *Space) *tracer {
-	return &tracer{strategy: strategy, sp: sp, start: time.Now(), base: sp.counters()}
+	cap := sp.TraceCap
+	switch {
+	case cap == 0:
+		cap = DefaultTraceCap
+	case cap < 0:
+		cap = int(^uint(0) >> 1) // unlimited
+	}
+	return &tracer{strategy: strategy, sp: sp, ev: &countingEvaluator{inner: sp.Eval},
+		start: time.Now(), base: sp.counters(), cap: cap}
 }
 
-// emit appends the event, stamping the round, strategy, and cache
-// deltas, and forwards it to the space's streaming observer, if any.
+// emit stamps the round, strategy, cache deltas, and eval count, then
+// appends the event (up to the trace cap; the cap'th slot becomes an
+// ActionTruncated marker and later events only bump the dropped count)
+// and forwards it to the space's streaming observer, if any — observers
+// see the full stream regardless of the cap.
 func (t *tracer) emit(e TraceEvent) {
 	e.Round = t.round
 	e.Strategy = t.strategy
 	e.Cache = t.sp.counters().Sub(t.base)
-	t.events = append(t.events, e)
+	e.Evals = t.ev.calls.Load()
+	switch {
+	case len(t.events) < t.cap:
+		t.events = append(t.events, e)
+	case t.truncated == 0:
+		t.truncated++
+		t.events = append(t.events, TraceEvent{Round: e.Round, Action: ActionTruncated,
+			Strategy: t.strategy, Cache: e.Cache, Evals: e.Evals,
+			Note: fmt.Sprintf("trace capped at %d events; stats.truncatedEvents counts the rest", t.cap)})
+	default:
+		t.truncated++
+	}
 	if t.sp.Observer != nil {
 		t.sp.Observer(e)
 	}
@@ -168,9 +235,12 @@ func (t *tracer) emit(e TraceEvent) {
 
 func (t *tracer) stats() Stats {
 	return Stats{
-		Strategy: t.strategy,
-		Rounds:   t.round,
-		Elapsed:  time.Since(t.start),
-		Cache:    t.sp.counters().Sub(t.base),
+		Strategy:  t.strategy,
+		Rounds:    t.round,
+		Elapsed:   time.Since(t.start),
+		Cache:     t.sp.counters().Sub(t.base),
+		Evals:     t.ev.calls.Load(),
+		Truncated: t.truncated,
+		Aborted:   t.aborted,
 	}
 }

@@ -202,6 +202,18 @@ func (b *Bound) EvaluateConfig(ctx context.Context, config []*catalog.IndexDef) 
 	return b.eng.evaluateConfigKey(ctx, b.prefix+ConfigKey(config), b.queries, config)
 }
 
+// EvaluateConfigBatch costs every bound query under each configuration,
+// as one unit: all cache keys are registered (or joined) in a single
+// pass, and the missing (configuration, query) evaluations are drained
+// by a fixed pool of workers pulling from one flat task list — one
+// dispatch for the whole burst instead of per-configuration singleflight
+// and goroutine fan-out. Results are in configs order; semantics match
+// calling EvaluateConfig per configuration. Lazy-greedy re-evaluation
+// bursts are the intended caller.
+func (b *Bound) EvaluateConfigBatch(ctx context.Context, configs [][]*catalog.IndexDef) ([]*ConfigEval, error) {
+	return b.eng.evaluateConfigBatch(ctx, b.prefix, b.queries, configs)
+}
+
 // EvaluateConfig costs every query under the configuration, memoized by
 // (query list, configuration). Concurrent calls with the same key share
 // one evaluation; distinct keys share the engine's worker pool. The
@@ -315,6 +327,184 @@ func (e *Engine) evaluate(ctx context.Context, queries []*querylang.Query, confi
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	return out, nil
+}
+
+// batchOwned is one batch configuration this call owns the evaluation
+// of: its singleflight entry plus the value under construction.
+type batchOwned struct {
+	idx     int // position in the caller's configs slice
+	key     string
+	ent     *entry
+	val     *ConfigEval
+	pending atomic.Int64
+	err     error // first per-query failure, under the batch's error mutex
+}
+
+// evaluateConfigBatch is the batch form of evaluateConfigKey: one
+// key-registration pass, then one flat (owned config × query) task list
+// drained by a fixed worker pool. Each pool worker holds one engine
+// semaphore slot for its lifetime, so the burst still respects the
+// engine-wide evaluation budget while paying the per-query
+// synchronization once per worker instead of once per query.
+func (e *Engine) evaluateConfigBatch(ctx context.Context, prefix string, queries []*querylang.Query, configs [][]*catalog.IndexDef) ([]*ConfigEval, error) {
+	out := make([]*ConfigEval, len(configs))
+	type joined struct {
+		idx int
+		key string
+		ent *entry
+	}
+	var own []*batchOwned
+	var joins []joined
+	for i, cfg := range configs {
+		key := prefix + ConfigKey(cfg)
+		sh := e.shard(key)
+		sh.mu.Lock()
+		if ent, ok := sh.m[key]; ok {
+			sh.mu.Unlock()
+			// Cached or in flight (possibly owned by this very batch, a
+			// duplicate config): wait after the owned work completes.
+			joins = append(joins, joined{idx: i, key: key, ent: ent})
+			continue
+		}
+		ent := &entry{ready: make(chan struct{})}
+		sh.insert(key, ent, e.maxPerShard)
+		sh.mu.Unlock()
+		e.misses.Add(1)
+		o := &batchOwned{idx: i, key: key, ent: ent,
+			val: &ConfigEval{Queries: make([]QueryEval, len(queries))}}
+		o.pending.Store(int64(len(queries)))
+		own = append(own, o)
+	}
+
+	// Drain the owned (configuration, query) pairs through a fixed
+	// worker pool pulling an atomic cursor over one flat task list.
+	var firstErr error
+	if n := len(own) * len(queries); n > 0 {
+		type task struct {
+			o  *batchOwned
+			qi int
+		}
+		tasks := make([]task, 0, n)
+		for _, o := range own {
+			for qi := range queries {
+				tasks = append(tasks, task{o: o, qi: qi})
+			}
+		}
+		workers := e.workers
+		if workers > len(tasks) {
+			workers = len(tasks)
+		}
+		bctx, cancel := context.WithCancel(ctx)
+		var (
+			next  atomic.Int64
+			wg    sync.WaitGroup
+			errMu sync.Mutex
+		)
+		fail := func(o *batchOwned, err error) {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			if o != nil && o.err == nil {
+				o.err = err
+			}
+			errMu.Unlock()
+			cancel()
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				select {
+				case e.sem <- struct{}{}:
+				case <-bctx.Done():
+					fail(nil, bctx.Err())
+					return
+				}
+				defer func() { <-e.sem }()
+				for {
+					i := next.Add(1) - 1
+					if int(i) >= len(tasks) {
+						return
+					}
+					if err := bctx.Err(); err != nil {
+						fail(nil, err)
+						return
+					}
+					t := tasks[i]
+					q := queries[t.qi]
+					e.evals.Add(1)
+					ev, err := e.svc.EvaluateQuery(bctx, q, filterConfig(configs[t.o.idx], q.Collection))
+					if err != nil {
+						fail(t.o, err)
+						return
+					}
+					t.o.val.Queries[t.qi] = ev
+					t.o.pending.Add(-1)
+				}
+			}()
+		}
+		wg.Wait()
+		cancel()
+	}
+
+	// Publish every owned entry exactly once before touching the joins:
+	// completed values are cached for everyone, failed or cut-off ones
+	// are evicted so waiters retry instead of rejoining a dead entry
+	// (same contract as the single-configuration path).
+	for _, o := range own {
+		if o.err == nil && o.pending.Load() == 0 {
+			o.ent.val = o.val
+			close(o.ent.ready)
+			out[o.idx] = o.val
+			continue
+		}
+		err := o.err
+		if err == nil {
+			err = firstErr // cancelled before this config's tasks ran
+		}
+		if err == nil {
+			err = context.Canceled
+		}
+		sh := e.shard(o.key)
+		sh.mu.Lock()
+		if sh.m[o.key] == o.ent {
+			sh.remove(o.key)
+		}
+		sh.mu.Unlock()
+		o.ent.err = err
+		close(o.ent.ready)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for _, j := range joins {
+		select {
+		case <-j.ent.ready:
+			if j.ent.err != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				// Owner died on its own context; re-evaluate with ours
+				// (the dead entry is already evicted).
+				if errors.Is(j.ent.err, context.Canceled) || errors.Is(j.ent.err, context.DeadlineExceeded) {
+					val, err := e.evaluateConfigKey(ctx, j.key, queries, configs[j.idx])
+					if err != nil {
+						return nil, err
+					}
+					out[j.idx] = val
+					continue
+				}
+				return nil, j.ent.err
+			}
+			e.hits.Add(1)
+			out[j.idx] = j.ent.val
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,111 @@
+package whatif
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// TestEvaluateConfigBatchMatchesSingle checks the batch entry point is
+// observationally identical to per-config EvaluateConfig: same values,
+// same caching (one miss per distinct configuration, duplicates inside
+// the batch join the owner), and a warm second batch costs zero service
+// calls.
+func TestEvaluateConfigBatchMatchesSingle(t *testing.T) {
+	ctx := context.Background()
+	qs := testQueries(4)
+	i1, i2, i3 := testDef("I1", "c", "/a/b"), testDef("I2", "c", "/a/c"), testDef("I3", "c", "/a/d")
+	configs := [][]*catalog.IndexDef{
+		{i1},
+		{i1, i2},
+		nil,      // empty configuration
+		{i2, i1}, // permutation of configs[1]: must join, not re-evaluate
+		{i3},
+		{i1}, // duplicate of configs[0]
+	}
+
+	// Reference values from the single-config path on its own engine.
+	ref := NewEngine(&fakeService{}, Options{Workers: 4}).Bind(qs)
+	want := make([]*ConfigEval, len(configs))
+	for i, cfg := range configs {
+		var err error
+		want[i], err = ref.EvaluateConfig(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	svc := &fakeService{}
+	e := NewEngine(svc, Options{Workers: 4})
+	b := e.Bind(qs)
+	got, err := b.EvaluateConfigBatch(ctx, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(configs) {
+		t.Fatalf("batch returned %d results, want %d", len(got), len(configs))
+	}
+	for i, g := range got {
+		if g == nil {
+			t.Fatalf("config %d: nil result", i)
+		}
+		for qi := range qs {
+			if g.Queries[qi].Cost != want[i].Queries[qi].Cost {
+				t.Errorf("config %d query %d: cost %f, want %f", i, qi, g.Queries[qi].Cost, want[i].Queries[qi].Cost)
+			}
+		}
+	}
+	// Duplicates share the owner's value, not a second evaluation.
+	if got[0] != got[5] || got[1] != got[3] {
+		t.Error("duplicate configs in one batch did not share the owner's result")
+	}
+	distinct := 4 // {i1}, {i1,i2}, {}, {i3}
+	if st := e.Stats(); st.Misses != int64(distinct) {
+		t.Errorf("misses = %d, want %d", st.Misses, distinct)
+	}
+	if calls := svc.calls.Load(); calls != int64(distinct*len(qs)) {
+		t.Errorf("service calls = %d, want %d", calls, distinct*len(qs))
+	}
+
+	// A warm repeat is pure cache hits.
+	before := svc.calls.Load()
+	again, err := b.EvaluateConfigBatch(ctx, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if again[i] != got[i] {
+			t.Errorf("config %d: warm batch did not return the cached value", i)
+		}
+	}
+	if calls := svc.calls.Load(); calls != before {
+		t.Errorf("warm batch issued %d service calls", calls-before)
+	}
+}
+
+// TestEvaluateConfigBatchErrors checks a failing backend surfaces the
+// error and leaves nothing poisoned in the cache.
+func TestEvaluateConfigBatchErrors(t *testing.T) {
+	ctx := context.Background()
+	qs := testQueries(3)
+	svc := &fakeService{fail: true}
+	e := NewEngine(svc, Options{Workers: 2})
+	b := e.Bind(qs)
+	configs := [][]*catalog.IndexDef{{testDef("I1", "c", "/a/b")}, {testDef("I2", "c", "/a/c")}}
+	if _, err := b.EvaluateConfigBatch(ctx, configs); err == nil {
+		t.Fatal("batch over a failing service returned no error")
+	}
+	if n := e.Len(); n != 0 {
+		t.Fatalf("failed evaluations left %d cache entries", n)
+	}
+	// The same configs succeed once the backend recovers.
+	svc.fail = false
+	res, err := b.EvaluateConfigBatch(ctx, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0] == nil || res[1] == nil {
+		t.Fatalf("recovered batch returned %v", res)
+	}
+}
