@@ -51,6 +51,10 @@ type (
 	Trace = search.Trace
 	// CacheStats are what-if engine counter deltas for one run.
 	CacheStats = whatif.Stats
+	// RelevanceStats summarize per-query relevant-candidate counts: how
+	// many of the session's candidates can serve each workload query at
+	// all, as the engine's relevance projection sees it.
+	RelevanceStats = whatif.RelevanceStats
 	// KernelStats are pattern-containment kernel counter deltas for one
 	// run.
 	KernelStats = pattern.KernelStats
@@ -211,6 +215,9 @@ type RecommendResponse struct {
 	Search   SearchStats   `json:"search"`
 	Cache    CacheStats    `json:"cache"`
 	Kernel   KernelStats   `json:"kernel"`
+	// Relevance is the per-query relevant-candidate distribution over
+	// the session's candidate space.
+	Relevance RelevanceStats `json:"relevance"`
 	// Evaluations counts per-query what-if evaluations issued during
 	// this run (cache misses only).
 	Evaluations int64 `json:"evaluations"`

@@ -93,12 +93,13 @@ func goldenResponse() *advisor.RecommendResponse {
 				Cache:    search.Counters{Hits: 26, Misses: 13, Evaluations: 37},
 			}},
 		},
-		Cache: advisor.CacheStats{Hits: 29, Misses: 16, Evaluations: 48},
+		Cache: advisor.CacheStats{Hits: 29, Misses: 16, Evaluations: 48, ProjectedHits: 9, RelevantDefs: 60},
 		Kernel: advisor.KernelStats{
 			Interned: 12,
 			Contains: pattern.CacheStats{Hits: 40, Misses: 24, Size: 24, Capacity: 4096},
 			Overlaps: pattern.CacheStats{Hits: 2, Misses: 2, Size: 2, Capacity: 4096},
 		},
+		Relevance:   advisor.RelevanceStats{Queries: 1, Min: 2, Median: 2, P95: 2, Max: 2, Mean: 2},
 		Evaluations: 48,
 		ElapsedMS:   7,
 		Trace: advisor.Trace{{

@@ -148,6 +148,17 @@ func WithGenParallelism(n int) Option {
 	return func(c *config) { c.core.GenParallelism = n }
 }
 
+// WithProjection toggles the what-if engine's relevance projection
+// (default on): evaluation atoms are keyed and costed per (query,
+// relevant sub-config), so configurations differing only in definitions
+// irrelevant to a query share that query's cached cost. Projection is
+// cost-preserving — recommendations are byte-identical either way —
+// and off exists only as the measured baseline for the projection's
+// what-if call reduction (CacheStats.Evaluations).
+func WithProjection(on bool) Option {
+	return func(c *config) { c.core.NoProjection = !on }
+}
+
 // WithCacheShards sets the what-if cache shard count (0 = default).
 func WithCacheShards(n int) Option {
 	return func(c *config) { c.core.CacheShards = n }

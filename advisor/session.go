@@ -187,6 +187,7 @@ func (s *Session) response(rec *core.Recommendation, strategy string, budgetPage
 		Search:       rec.Search,
 		Cache:        rec.Cache,
 		Kernel:       rec.Kernel,
+		Relevance:    rec.Relevance,
 		Evaluations:  int64(rec.Evaluations),
 		ElapsedMS:    int64(rec.Elapsed / time.Millisecond),
 	}

@@ -20,7 +20,7 @@
 //	explain <query text>
 //	enumerate <query text>
 //	evaluate <pattern>:<type>[,<pattern>:<type>...] :: <query text>
-//	whatif <pattern>:<type>[,<pattern>:<type>...] :: <workload-file>
+//	whatif [-relevance] <pattern>:<type>[,<pattern>:<type>...] :: <workload-file>
 //	candidates <workload-file> [rules]
 //	search <workload-file> [budget-pages]
 //	search -synthetic n=N [budget-pages]
@@ -392,13 +392,23 @@ func (s *shell) cmdEvaluate(rest string) error {
 	return nil
 }
 
-// cmdWhatIf parses "<pattern>:<type>[,...] :: <workload-file>" and costs
-// the whole workload under the virtual configuration through the what-if
-// engine — the fan-out path the -parallel flag governs.
+// cmdWhatIf parses "whatif [-relevance] <pattern>:<type>[,...] ::
+// <workload-file>" and costs the whole workload under the virtual
+// configuration through the what-if engine — the fan-out path the
+// -parallel flag governs. The per-query rows show each query's
+// relevance-projected atom: how many of the configuration's definitions
+// can serve the query at all, and whether its cost came from the cache.
+// -relevance additionally prints the relevant-candidate count
+// distribution across the workload's queries.
 func (s *shell) cmdWhatIf(rest string) error {
+	relevance := false
+	if flag, tail, ok := strings.Cut(rest, " "); ok && flag == "-relevance" {
+		relevance = true
+		rest = strings.TrimSpace(tail)
+	}
 	cfgStr, path, ok := strings.Cut(rest, "::")
 	if !ok {
-		return fmt.Errorf("usage: whatif <pattern>:<type>[,...] :: <workload-file>")
+		return fmt.Errorf("usage: whatif [-relevance] <pattern>:<type>[,...] :: <workload-file>")
 	}
 	text, err := os.ReadFile(strings.TrimSpace(path))
 	if err != nil {
@@ -457,18 +467,33 @@ func (s *shell) cmdWhatIf(rest string) error {
 		return err
 	}
 	var noIdx, withIdx float64
-	fmt.Fprintf(s.out, "%-8s %12s %12s %10s  %s\n", "query", "no-index", "with-config", "benefit", "indexes used")
+	fmt.Fprintf(s.out, "%-8s %12s %12s %10s %4s %6s  %s\n",
+		"query", "no-index", "with-config", "benefit", "rel", "cached", "indexes used")
 	for qi, e := range w.Queries {
 		qe := res.Queries[qi]
 		noIdx += e.Weight * qe.CostNoIndexes
 		withIdx += e.Weight * qe.Cost
-		fmt.Fprintf(s.out, "%-8s %12.2f %12.2f %10.2f  %s\n",
-			e.Query.ID, qe.CostNoIndexes, qe.Cost, qe.Benefit(), strings.Join(qe.UsedIndexes, ","))
+		cached := "miss"
+		if res.Atoms[qi].Hit {
+			cached = "hit"
+		}
+		fmt.Fprintf(s.out, "%-8s %12.2f %12.2f %10.2f %4d %6s  %s\n",
+			e.Query.ID, qe.CostNoIndexes, qe.Cost, qe.Benefit(),
+			res.Atoms[qi].Relevant, cached, strings.Join(qe.UsedIndexes, ","))
 	}
 	st := s.what.Stats().Sub(before)
 	fmt.Fprintf(s.out, "weighted: no-index %.1f, with-config %.1f (benefit %.1f)\n", noIdx, withIdx, noIdx-withIdx)
-	fmt.Fprintf(s.out, "what-if engine: %d workers, %d evaluations, %d hits, %d misses\n",
-		s.what.Workers(), st.Evaluations, st.Hits, st.Misses)
+	fmt.Fprintf(s.out, "what-if engine: %d workers, %d evaluations, %d hits (%d projected), %d misses\n",
+		s.what.Workers(), st.Evaluations, st.Hits, st.ProjectedHits, st.Misses)
+	if relevance {
+		counts := make([]int, len(res.Atoms))
+		for i, a := range res.Atoms {
+			counts[i] = a.Relevant
+		}
+		rs := whatif.NewRelevanceStats(counts)
+		fmt.Fprintf(s.out, "relevant config definitions per query: min %d, median %d, p95 %d, max %d (mean %.1f over %d queries)\n",
+			rs.Min, rs.Median, rs.P95, rs.Max, rs.Mean, rs.Queries)
+	}
 	return nil
 }
 

@@ -100,8 +100,11 @@ func main() {
 	fmt.Print(resp.Report())
 	// resp.Report already covers evaluations and hits; add only what it
 	// lacks.
-	fmt.Printf("what-if engine: %d workers, %d cache misses (%.0f%% hit rate)\n",
-		adv.Workers(), resp.Cache.Misses, 100*resp.Cache.HitRate())
+	fmt.Printf("what-if engine: %d workers, %d cache misses (%.0f%% hit rate, %d projection-enabled hits, %.1f relevant defs/atom)\n",
+		adv.Workers(), resp.Cache.Misses, 100*resp.Cache.HitRate(),
+		resp.Cache.ProjectedHits, resp.Cache.MeanRelevant())
+	fmt.Printf("relevance: %d..%d relevant candidates/query (median %d, p95 %d, mean %.1f)\n",
+		resp.Relevance.Min, resp.Relevance.Max, resp.Relevance.Median, resp.Relevance.P95, resp.Relevance.Mean)
 	fmt.Println(resp.Kernel.String())
 	fmt.Println(resp.Search.String())
 	fmt.Println(resp.Pipeline.String())

@@ -108,6 +108,36 @@ type Set struct {
 	Stats Stats
 }
 
+// RelevantCounts returns, per workload query index in [0, numQueries),
+// how many candidates in All can serve the query at all: a candidate
+// counts for query q when its coverage includes a basic candidate
+// enumerated from q (same type, containing pattern — straight from the
+// containment matrix). This is the candidate-space view of the what-if
+// engine's relevance projection: the counts bound how many of a
+// configuration's members can ever appear in one query's projected
+// sub-config, which is what makes per-(query, sub-config) memoization
+// pay off.
+func (s *Set) RelevantCounts(numQueries int) []int {
+	out := make([]int, numQueries)
+	// mark[q] is the last candidate counted for q, so a candidate
+	// covering several of q's basics is counted once.
+	mark := make([]int, numQueries)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for ci, c := range s.All {
+		for _, b := range c.Covers() {
+			for _, q := range s.Basics[b].FromQueries {
+				if q >= 0 && q < numQueries && mark[q] != ci {
+					mark[q] = ci
+					out[q]++
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Bitset is a simple fixed-capacity bitmap over basic-candidate indices.
 type Bitset []uint64
 

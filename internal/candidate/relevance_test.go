@@ -1,0 +1,39 @@
+package candidate
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/pattern"
+	"repro/internal/sqltype"
+)
+
+// TestSetRelevantCounts builds a tiny hand-wired set: three basics from
+// queries {0}, {0,1}, {2}, plus one generalized candidate covering the
+// first two basics.
+func TestSetRelevantCounts(t *testing.T) {
+	mk := func(id int, pat string, basic bool, from []int, covers []int32) *Candidate {
+		p := pattern.MustParse(pat)
+		c := &Candidate{
+			ID: id, Collection: "c", Pattern: p, Type: sqltype.Varchar,
+			Basic: basic, FromQueries: from,
+			Def: &catalog.IndexDef{Name: "x", Collection: "c", Pattern: p, Type: sqltype.Varchar},
+		}
+		c.SetCovers(covers)
+		return c
+	}
+	b0 := mk(0, "/a/b", true, []int{0}, []int32{0})
+	b1 := mk(1, "/a/c", true, []int{0, 1}, []int32{1})
+	b2 := mk(2, "/d/e", true, []int{2}, []int32{2})
+	g := mk(3, "/a/*", false, nil, []int32{0, 1})
+	s := &Set{All: []*Candidate{b0, b1, b2, g}, Basics: []*Candidate{b0, b1, b2}}
+
+	// Query 0: b0, b1, and g (covers both). Query 1: b1 and g. Query 2:
+	// b2 only. g is counted once for query 0 despite covering two of its
+	// basics.
+	got := s.RelevantCounts(3)
+	if want := []int{3, 2, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("relevant counts = %v, want %v", got, want)
+	}
+}

@@ -85,11 +85,17 @@ type Options struct {
 	Parallelism int
 	// CacheShards is the what-if cache shard count (0 = default).
 	CacheShards int
-	// CacheSize caps the number of memoized configuration evaluations.
-	// 0 means the default cap (65536); negative means unlimited. The
-	// cache lives for the advisor's lifetime, so unbounded growth is
-	// opt-in only.
+	// CacheSize caps the number of memoized per-(query, sub-config)
+	// evaluation atoms. 0 means the default cap (65536); negative means
+	// unlimited. The cache lives for the advisor's lifetime, so
+	// unbounded growth is opt-in only.
 	CacheSize int
+	// NoProjection disables the what-if engine's relevance projection:
+	// evaluation atoms are keyed by the whole configuration instead of
+	// each query's relevant sub-config. Recommendations are identical
+	// either way; this is the measured baseline and the differential-
+	// test reference.
+	NoProjection bool
 }
 
 // DefaultOptions returns the advisor defaults used by the demo tools.
@@ -152,9 +158,10 @@ func NewWithService(cat *catalog.Catalog, opts Options, svc whatif.CostService, 
 		cacheSize = 0 // engine semantics: 0 = unlimited
 	}
 	eng := whatif.NewEngine(svc, whatif.Options{
-		Workers:    opts.Parallelism,
-		Shards:     opts.CacheShards,
-		MaxEntries: cacheSize,
+		Workers:      opts.Parallelism,
+		Shards:       opts.CacheShards,
+		MaxEntries:   cacheSize,
+		NoProjection: opts.NoProjection,
 	})
 	rate := optimizer.DefaultCost.MaintPerEntry
 	if opt != nil {
@@ -261,6 +268,11 @@ type Recommendation struct {
 	// Evaluations counts per-query what-if evaluations issued during
 	// this run (cache misses only; hits cost nothing).
 	Evaluations int
+	// Relevance summarizes, per workload query, how many candidates of
+	// the whole space can serve the query at all (the engine's
+	// projection view): the distribution that determines how much of a
+	// configuration each per-query what-if call actually prices.
+	Relevance whatif.RelevanceStats
 	// Cache holds the what-if engine counter deltas for this run. The
 	// deltas are windows over the advisor's shared engine counters:
 	// they are accurate when runs on one Advisor do not overlap, and

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/candidate"
+	"repro/internal/catalog"
 	"repro/internal/pattern"
 	"repro/internal/search"
 	"repro/internal/whatif"
@@ -75,6 +77,16 @@ type Prepared struct {
 	set   *candidate.Set
 	ev    *evaluator
 	space *search.Space
+	// relevance summarizes per-query relevant-candidate counts over the
+	// whole candidate space, computed once at Prepare time (no what-if
+	// evaluations — the projection predicates alone decide it).
+	relevance whatif.RelevanceStats
+
+	// benefitOnce guards the lazily built standalone benefit matrix
+	// behind the space's Benefits hook.
+	benefitOnce sync.Once
+	benefits    *whatif.BenefitMatrix
+	benefitErr  error
 }
 
 // Prepare runs the candidate pipeline on the workload and binds the
@@ -113,7 +125,62 @@ func (a *Advisor) Prepare(ctx context.Context, w *workload.Workload) (*Prepared,
 			return search.Counters{Hits: s.Hits, Misses: s.Misses, Evaluations: s.Evaluations}
 		},
 	}
-	return &Prepared{a: a, w: w, set: set, ev: ev, space: sp}, nil
+	p := &Prepared{a: a, w: w, set: set, ev: ev, space: sp}
+	sp.Benefits = p.BenefitMatrix
+	p.relevance = whatif.NewRelevanceStats(ev.bound.RelevantCounts(defsOfCandidates(set.All)))
+	return p, nil
+}
+
+// defsOfCandidates extracts the candidates' index definitions.
+func defsOfCandidates(cands []*Candidate) []*catalog.IndexDef {
+	defs := make([]*catalog.IndexDef, len(cands))
+	for i, c := range cands {
+		defs[i] = c.Def
+	}
+	return defs
+}
+
+// RelevanceStats summarizes per-query relevant-candidate counts over
+// the prepared space — how many candidates can serve each workload
+// query at all, as the what-if engine's projection sees it.
+func (p *Prepared) RelevanceStats() whatif.RelevanceStats { return p.relevance }
+
+// BenefitMatrix returns the standalone per-(query, candidate) benefit
+// matrix over the prepared space, rows aligned with Space().Candidates:
+// entry (q, c) is the query's weighted cost reduction when candidate c
+// is installed alone. Built once on first call — one standalone what-if
+// evaluation per candidate, batched through the engine (atoms already
+// cached by a prior search are free) — and memoized; row sums equal the
+// standalone QueryBenefit the search evaluator reports, which the
+// cross-check test pins. This is the decomposed benefit model the
+// CoPhy-style LP strategy seam (search.Space.Benefits) exposes.
+func (p *Prepared) BenefitMatrix(ctx context.Context) (*whatif.BenefitMatrix, error) {
+	p.benefitOnce.Do(func() {
+		m := &whatif.BenefitMatrix{
+			NumQueries: len(p.w.Queries),
+			Rows:       make([][]whatif.BenefitEntry, len(p.set.All)),
+		}
+		configs := make([][]*catalog.IndexDef, len(p.set.All))
+		for i, c := range p.set.All {
+			configs[i] = []*catalog.IndexDef{c.Def}
+		}
+		results, err := p.ev.bound.EvaluateConfigBatch(ctx, configs)
+		if err != nil {
+			p.benefitErr = err
+			return
+		}
+		for ci, res := range results {
+			var row []whatif.BenefitEntry
+			for qi, e := range p.w.Queries {
+				if b := res.Queries[qi].Benefit(); b > 0 {
+					row = append(row, whatif.BenefitEntry{Query: int32(qi), Benefit: e.Weight * b})
+				}
+			}
+			m.Rows[ci] = row
+		}
+		p.benefits = m
+	})
+	return p.benefits, p.benefitErr
 }
 
 // Space exposes the prepared search space for direct strategy runs
@@ -233,6 +300,7 @@ func (p *Prepared) recommend(ctx context.Context, kind SearchKind, budgetPages i
 		sort.Strings(qa.IndexesUsed)
 		rec.PerQuery = append(rec.PerQuery, qa)
 	}
+	rec.Relevance = p.relevance
 	rec.Cache = p.a.cost.Stats().Sub(statsBefore)
 	rec.Evaluations = int(rec.Cache.Evaluations)
 	rec.Kernel = pattern.Stats().Sub(kernelBefore)

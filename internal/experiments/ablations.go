@@ -103,7 +103,7 @@ func E11AdvisorScalability(env *Env) (string, error) {
 func E12ParallelWhatIf(env *Env) (string, error) {
 	ctx := context.Background()
 	t := newTable("E12: what-if evaluation parallelism (XMark workload, greedy-heuristic search)",
-		"workers", "#idx", "net benefit", "evaluations", "cache hits", "hit%", "runtime")
+		"workers", "#idx", "net benefit", "evaluations", "cache hits", "hit%", "proj hits", "rel med/p95", "runtime")
 	for _, wk := range WorkerSweep() {
 		a := env.advisor(advisor.WithParallelism(wk))
 		rec, err := a.Recommend(ctx, env.XMarkWorkload, advisor.RecommendRequest{})
@@ -111,7 +111,9 @@ func E12ParallelWhatIf(env *Env) (string, error) {
 			return "", err
 		}
 		t.add(wk, len(rec.Indexes), rec.NetBenefit, rec.Evaluations,
-			int(rec.Cache.Hits), 100*rec.Cache.HitRate(), rec.Elapsed().Round(time.Millisecond).String())
+			int(rec.Cache.Hits), 100*rec.Cache.HitRate(), rec.Cache.ProjectedHits,
+			fmt.Sprintf("%d/%d", rec.Relevance.Median, rec.Relevance.P95),
+			rec.Elapsed().Round(time.Millisecond).String())
 	}
 	return t.String(), nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/advisor"
 	"repro/internal/search"
+	"repro/internal/whatif"
 	"repro/internal/workload"
 )
 
@@ -191,7 +192,7 @@ func E6SearchStrategies(env *Env) (string, error) {
 func E14StrategyPortfolio(env *Env) (string, error) {
 	ctx := context.Background()
 	t := newTable("E14: strategy portfolio — all registered strategies plus the race, half-overtrained budget",
-		"workload", "strategy", "#idx", "pages", "net benefit", "rounds", "search ms", "evals", "cache hit%", "winner")
+		"workload", "strategy", "#idx", "pages", "net benefit", "rounds", "search ms", "evals", "cache hit%", "proj hits", "winner")
 	for _, wl := range []struct {
 		name string
 		w    *workload.Workload
@@ -218,7 +219,8 @@ func E14StrategyPortfolio(env *Env) (string, error) {
 				return "", err
 			}
 			t.add(wl.name, name, len(rec.Indexes), rec.TotalPages, rec.NetBenefit, rec.Search.Rounds,
-				rec.Search.Elapsed.Milliseconds(), rec.Evaluations, 100*rec.Cache.HitRate(), rec.Search.Winner)
+				rec.Search.Elapsed.Milliseconds(), rec.Evaluations, 100*rec.Cache.HitRate(),
+				rec.Cache.ProjectedHits, rec.Search.Winner)
 		}
 	}
 	// Synthetic scale section: the same portfolio question at candidate
@@ -251,7 +253,29 @@ func E14StrategyPortfolio(env *Env) (string, error) {
 				return "", err
 			}
 			t.add(wlName, variant.name, len(res.Config), res.Pages, res.Eval.Net, res.Stats.Rounds,
-				res.Stats.Elapsed.Milliseconds(), res.Stats.Evals, 0.0, res.Stats.Winner)
+				res.Stats.Elapsed.Milliseconds(), res.Stats.Evals, 0.0, int64(0), res.Stats.Winner)
+		}
+		// The same greedy search through the real what-if engine over the
+		// synthetic backend, with and without relevance projection — the
+		// projected-hit and CostService-call counters at a candidate scale
+		// the real workloads cannot reach.
+		for _, noProj := range []bool{false, true} {
+			name := "greedy-whatif"
+			if noProj {
+				name += "-noproj"
+			}
+			spw, eng := search.NewSyntheticWhatIfSpace(n, 42, whatif.Options{NoProjection: noProj})
+			strat, err := search.Lookup("greedy-heuristic")
+			if err != nil {
+				return "", err
+			}
+			res, err := strat.Search(ctx, spw)
+			if err != nil {
+				return "", err
+			}
+			st := eng.Stats()
+			t.add(wlName, name, len(res.Config), res.Pages, res.Eval.Net, res.Stats.Rounds,
+				res.Stats.Elapsed.Milliseconds(), st.Evaluations, 100*st.HitRate(), st.ProjectedHits, "")
 		}
 	}
 	return t.String(), nil

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/candidate"
+	"repro/internal/whatif"
 )
 
 // Candidate is one candidate index in the search space, produced by the
@@ -139,6 +140,13 @@ type Space struct {
 	// Counters, when non-nil, snapshots the what-if engine's cache
 	// counters; traces and stats record deltas against it.
 	Counters func() Counters
+	// Benefits, when non-nil, produces the standalone per-(query,
+	// candidate) benefit matrix, rows aligned with Candidates order —
+	// the decomposed benefit model a CoPhy-style LP strategy optimizes
+	// over. Producers memoize: the first call may cost one standalone
+	// what-if evaluation per candidate (deduplicated through the
+	// engine's atom cache), repeat calls are free.
+	Benefits func(ctx context.Context) (*whatif.BenefitMatrix, error)
 	// Observer, when non-nil, receives every trace event as it is
 	// emitted — the streaming-progress hook. Events still accumulate in
 	// the result's Trace. The observer may be called concurrently (the

@@ -9,6 +9,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/pattern"
 	"repro/internal/sqltype"
+	"repro/internal/whatif"
 )
 
 // Synthetic candidate-space generator: a deterministic, self-contained
@@ -255,6 +256,9 @@ func NewSyntheticSpace(n int, seed uint64) *Space {
 		Counters: func() Counters {
 			return Counters{Evaluations: ev.evals.Load()}
 		},
+		Benefits: func(context.Context) (*whatif.BenefitMatrix, error) {
+			return ev.benefits(), nil
+		},
 	}
 }
 
@@ -320,6 +324,30 @@ func (s *synthEval) EvaluateBatch(ctx context.Context, base, cands []*Candidate)
 
 // Workers is fixed so speculative batch sizes are machine-independent.
 func (s *synthEval) Workers() int { return synWorkers }
+
+// benefits builds the model's standalone benefit matrix: installed
+// alone, candidate c improves each of its shared queries by vals[c]
+// (it wins every query it serves when nothing competes) and delivers
+// its private benefit base[c]. Row sums plus Private therefore equal
+// the standalone QueryBenefit eval reports, which the matrix tests pin.
+func (s *synthEval) benefits() *whatif.BenefitMatrix {
+	m := &whatif.BenefitMatrix{
+		NumQueries: s.m,
+		Rows:       make([][]whatif.BenefitEntry, len(s.vals)),
+		Private:    append([]float64(nil), s.base...),
+	}
+	for c := range s.vals {
+		if s.vals[c] <= 0 || len(s.queries[c]) == 0 {
+			continue
+		}
+		row := make([]whatif.BenefitEntry, len(s.queries[c]))
+		for i, q := range s.queries[c] {
+			row[i] = whatif.BenefitEntry{Query: q, Benefit: s.vals[c]}
+		}
+		m.Rows[c] = row
+	}
+	return m
+}
 
 func (s *synthEval) eval(cfg []*Candidate) *Eval {
 	out := &Eval{Used: map[int]bool{}}

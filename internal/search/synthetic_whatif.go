@@ -1,0 +1,191 @@
+package search
+
+import (
+	"context"
+	"strconv"
+
+	"repro/internal/catalog"
+	"repro/internal/querylang"
+	"repro/internal/whatif"
+)
+
+// synBaseCost is the document-scan cost of every synthetic shared
+// query; per-query index benefit is a reduction below it.
+const synBaseCost = 100000
+
+// SyntheticBackend is a whatif.CostService (and RelevanceService) over
+// the synthetic benefit model: the same max-cover cost function as
+// synthEval, but decomposed per query so a real whatif.Engine — atom
+// cache, relevance projection, worker pool — sits between the search
+// and the model. A query's cost depends only on the configuration
+// members that serve it, so RelevantFilter is exact and projection is
+// cost-preserving by construction, mirroring the optimizer backend's
+// contract at benchmark scale.
+type SyntheticBackend struct {
+	model *synthEval
+	// byName maps an index-definition name back to its candidate ID.
+	byName map[string]int
+	// qIndex maps a query ID to its shared-query index.
+	qIndex map[string]int
+}
+
+// EvaluateQuery implements whatif.CostService: the query's cost is
+// synBaseCost minus the best per-query value among configuration
+// members serving it (ties to the lowest candidate ID, matching
+// synthEval).
+func (b *SyntheticBackend) EvaluateQuery(ctx context.Context, q *querylang.Query, config []*catalog.IndexDef) (whatif.QueryEval, error) {
+	if err := ctx.Err(); err != nil {
+		return whatif.QueryEval{}, err
+	}
+	qi := b.qIndex[q.ID]
+	ev := whatif.QueryEval{CostNoIndexes: synBaseCost, Cost: synBaseCost}
+	bestV, bestID, bestName := 0.0, -1, ""
+	for _, d := range config {
+		id := b.byName[d.Name]
+		if !b.serves(id, qi) {
+			continue
+		}
+		v := b.model.vals[id]
+		if v > bestV || (v == bestV && v > 0 && id < bestID) {
+			bestV, bestID, bestName = v, id, d.Name
+		}
+	}
+	if bestID >= 0 && bestV > 0 {
+		ev.Cost -= bestV
+		ev.UsedIndexes = []string{bestName}
+	}
+	return ev, nil
+}
+
+// RelevantFilter implements whatif.RelevanceService: a definition is
+// relevant to a query iff its candidate serves the query in the model.
+func (b *SyntheticBackend) RelevantFilter(q *querylang.Query) func(*catalog.IndexDef) bool {
+	qi := b.qIndex[q.ID]
+	return func(d *catalog.IndexDef) bool { return b.serves(b.byName[d.Name], qi) }
+}
+
+// serves reports whether candidate id's index improves shared query qi.
+func (b *SyntheticBackend) serves(id, qi int) bool {
+	for _, sq := range b.model.queries[id] {
+		if int(sq) == qi {
+			return true
+		}
+	}
+	return false
+}
+
+// synthWhatifEval adapts a whatif.Bound over a SyntheticBackend to the
+// search Evaluator: per-query engine costs are folded back into the
+// model's workload aggregates (modular private benefit and update cost
+// added outside the engine, exactly as synthEval computes them), so the
+// whatif-backed space chooses the same configurations as the plain
+// synthetic space — with every evaluation flowing through the engine's
+// atom cache.
+type synthWhatifEval struct {
+	model  *synthEval
+	byName map[string]int
+	bound  *whatif.Bound
+}
+
+func (s *synthWhatifEval) derive(res *whatif.ConfigEval, cfg []*Candidate) *Eval {
+	out := &Eval{Used: map[int]bool{}}
+	for _, qe := range res.Queries {
+		out.QueryBenefit += qe.CostNoIndexes - qe.Cost
+		for _, name := range qe.UsedIndexes {
+			out.Used[s.byName[name]] = true
+		}
+	}
+	for _, c := range cfg {
+		out.QueryBenefit += s.model.base[c.ID]
+		out.UpdateCost += s.model.upd[c.ID]
+		if s.model.base[c.ID] > 0 {
+			out.Used[c.ID] = true
+		}
+	}
+	out.Net = out.QueryBenefit - out.UpdateCost
+	return out
+}
+
+func defsOf(cfg []*Candidate) []*catalog.IndexDef {
+	defs := make([]*catalog.IndexDef, len(cfg))
+	for i, c := range cfg {
+		defs[i] = c.Def
+	}
+	return defs
+}
+
+// Evaluate prices one configuration through the what-if engine.
+func (s *synthWhatifEval) Evaluate(ctx context.Context, cfg []*Candidate) (*Eval, error) {
+	res, err := s.bound.EvaluateConfig(ctx, defsOf(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return s.derive(res, cfg), nil
+}
+
+// EvaluateBatch prices base+{c} for the burst in one engine dispatch —
+// identical projected sub-configs inside the burst are scheduled once.
+func (s *synthWhatifEval) EvaluateBatch(ctx context.Context, base, cands []*Candidate) ([]*Eval, error) {
+	configs := make([][]*catalog.IndexDef, len(cands))
+	cfgs := make([][]*Candidate, len(cands))
+	baseDefs := defsOf(base)
+	for i, c := range cands {
+		defs := make([]*catalog.IndexDef, 0, len(base)+1)
+		configs[i] = append(append(defs, baseDefs...), c.Def)
+		cfg := make([]*Candidate, 0, len(base)+1)
+		cfgs[i] = append(append(cfg, base...), c)
+	}
+	results, err := s.bound.EvaluateConfigBatch(ctx, configs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Eval, len(cands))
+	for i, res := range results {
+		out[i] = s.derive(res, cfgs[i])
+	}
+	return out, nil
+}
+
+// Workers matches the plain synthetic space's fixed parallelism.
+func (s *synthWhatifEval) Workers() int { return synWorkers }
+
+// NewSyntheticWhatIfSpace is NewSyntheticSpace with a real what-if
+// engine in the evaluation path: the same deterministic candidates,
+// DAG, budget, and benefit model, but every configuration evaluation
+// decomposes into per-(query, projected sub-config) atoms of a
+// whatif.Engine over a SyntheticBackend. Strategies choose the same
+// configurations as on the plain space; what changes is the measured
+// cost — engine counters now count real per-query CostService calls,
+// which is what the projection benchmarks and the projected-vs-
+// unprojected differential tests need at 10k+ candidates. The engine is
+// returned alongside for counter access.
+func NewSyntheticWhatIfSpace(n int, seed uint64, o whatif.Options) (*Space, *whatif.Engine) {
+	sp := NewSyntheticSpace(n, seed)
+	model := sp.Eval.(*synthEval)
+	byName := make(map[string]int, len(sp.Candidates))
+	for _, c := range sp.Candidates {
+		byName[c.Def.Name] = c.ID
+	}
+	queries := make([]*querylang.Query, model.m)
+	qIndex := make(map[string]int, model.m)
+	for i := range queries {
+		id := "S" + strconv.Itoa(i)
+		queries[i] = &querylang.Query{
+			ID:         id,
+			Collection: "syn",
+			Text:       "synthetic shared query " + strconv.Itoa(i),
+		}
+		qIndex[id] = i
+	}
+	backend := &SyntheticBackend{model: model, byName: byName, qIndex: qIndex}
+	if o.Workers == 0 {
+		o.Workers = synWorkers
+	}
+	eng := whatif.NewEngine(backend, o)
+	sp.Eval = &synthWhatifEval{model: model, byName: byName, bound: eng.Bind(queries)}
+	sp.Counters = func() Counters {
+		st := eng.Stats()
+		return Counters{Hits: st.Hits, Misses: st.Misses, Evaluations: st.Evaluations}
+	}
+	return sp, eng
+}

@@ -1,0 +1,113 @@
+package whatif
+
+import "sort"
+
+// BenefitEntry is one (query, candidate) cell of a BenefitMatrix: the
+// standalone weighted benefit the candidate delivers on the query.
+type BenefitEntry struct {
+	// Query is the workload query index.
+	Query int32
+	// Benefit is weight * (cost without indexes - cost with only this
+	// candidate), non-negative.
+	Benefit float64
+}
+
+// BenefitMatrix holds standalone per-(query, candidate) benefit
+// estimates: row i lists, sorted by query index, the queries candidate
+// i improves when installed alone. It is the decomposed benefit model
+// a CoPhy-style LP search strategy optimizes over — benefits only;
+// update/maintenance costs are modular per candidate and stay the
+// search layer's concern. Rows are aligned with whatever candidate
+// order the producer documents (search.Space.Benefits aligns with
+// Space.Candidates).
+type BenefitMatrix struct {
+	// NumQueries is the workload query count (the column space).
+	NumQueries int
+	// Rows is one sparse row per candidate.
+	Rows [][]BenefitEntry
+	// Private is an optional per-candidate query-independent benefit
+	// (synthetic benefit models use it); nil or zero for engine-built
+	// matrices.
+	Private []float64
+}
+
+// Entry returns the (candidate, query) benefit, 0 when absent.
+func (m *BenefitMatrix) Entry(ci int, query int32) float64 {
+	row := m.Rows[ci]
+	i := sort.Search(len(row), func(i int) bool { return row[i].Query >= query })
+	if i < len(row) && row[i].Query == query {
+		return row[i].Benefit
+	}
+	return 0
+}
+
+// StandaloneBenefit is candidate ci's total standalone query benefit:
+// its row sum plus its private benefit.
+func (m *BenefitMatrix) StandaloneBenefit(ci int) float64 {
+	total := 0.0
+	for _, e := range m.Rows[ci] {
+		total += e.Benefit
+	}
+	if m.Private != nil {
+		total += m.Private[ci]
+	}
+	return total
+}
+
+// NonZero counts the populated cells across all rows.
+func (m *BenefitMatrix) NonZero() int {
+	n := 0
+	for _, row := range m.Rows {
+		n += len(row)
+	}
+	return n
+}
+
+// RelevanceStats summarizes the per-query relevant-candidate counts of
+// a workload against a configuration or candidate set: how many index
+// definitions can serve each query at all. The distribution is what
+// makes relevance projection pay — the smaller the typical relevance
+// set next to the full candidate count, the fewer CostService calls a
+// search round costs.
+type RelevanceStats struct {
+	// Queries is the workload query count the histogram is over.
+	Queries int     `json:"queries"`
+	Min     int     `json:"min"`
+	Median  int     `json:"median"`
+	P95     int     `json:"p95"`
+	Max     int     `json:"max"`
+	Mean    float64 `json:"mean"`
+}
+
+// NewRelevanceStats summarizes per-query relevant-definition counts
+// (order irrelevant). The zero value is returned for an empty input.
+func NewRelevanceStats(counts []int) RelevanceStats {
+	if len(counts) == 0 {
+		return RelevanceStats{}
+	}
+	sorted := append([]int(nil), counts...)
+	sort.Ints(sorted)
+	total := 0
+	for _, c := range sorted {
+		total += c
+	}
+	// Nearest-rank percentiles: index ceil(p*n)-1.
+	rank := func(p float64) int {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return RelevanceStats{
+		Queries: len(sorted),
+		Min:     sorted[0],
+		Median:  rank(0.50),
+		P95:     rank(0.95),
+		Max:     sorted[len(sorted)-1],
+		Mean:    float64(total) / float64(len(sorted)),
+	}
+}

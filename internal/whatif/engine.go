@@ -24,18 +24,35 @@ type Options struct {
 	// Shards is the cache shard count (rounded up to a power of two);
 	// 0 means 16.
 	Shards int
-	// MaxEntries caps the number of memoized configuration evaluations
-	// (approximately, split across shards); 0 means unlimited.
+	// MaxEntries caps the number of memoized per-(query, sub-config)
+	// atoms (approximately, split across shards); 0 means unlimited.
 	MaxEntries int
+	// NoProjection disables relevance projection: atoms are keyed by
+	// the full requested configuration (every definition, every
+	// collection) instead of the query's projected sub-config, so each
+	// distinct configuration re-costs every query — the pre-projection
+	// engine, kept as the measured baseline and differential-test
+	// reference. Costing itself is identical either way.
+	NoProjection bool
 }
 
 // Stats are the engine's monotonic counters. A cache "hit" includes
-// joining an in-flight evaluation of the same configuration (the
-// singleflight path); "evaluations" counts per-query CostService calls.
+// joining an in-flight evaluation of the same atom (the singleflight
+// path); "evaluations" counts per-query CostService calls. Hits,
+// misses, and the projection counters are per atom — one
+// (query, projected sub-config) lookup each.
 type Stats struct {
 	Hits        int64 `json:"hits"`
 	Misses      int64 `json:"misses"`
 	Evaluations int64 `json:"evaluations"`
+	// ProjectedHits counts hits on atoms whose projected sub-config
+	// dropped at least one definition of the requested configuration —
+	// sharing that whole-configuration keying could never have found.
+	ProjectedHits int64 `json:"projectedHits"`
+	// RelevantDefs sums projected sub-config sizes over every atom
+	// lookup; RelevantDefs / (Hits + Misses) is the mean relevance-set
+	// size the engine actually costed against.
+	RelevantDefs int64 `json:"relevantDefs"`
 }
 
 // HitRate is hits / (hits + misses), or 0 when nothing was looked up.
@@ -46,27 +63,51 @@ func (s Stats) HitRate() float64 {
 	return 0
 }
 
+// MeanRelevant is the mean projected sub-config size per atom lookup,
+// or 0 when nothing was looked up.
+func (s Stats) MeanRelevant() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.RelevantDefs) / float64(t)
+	}
+	return 0
+}
+
 // Sub returns the counter deltas since an earlier snapshot.
 func (s Stats) Sub(earlier Stats) Stats {
 	return Stats{
-		Hits:        s.Hits - earlier.Hits,
-		Misses:      s.Misses - earlier.Misses,
-		Evaluations: s.Evaluations - earlier.Evaluations,
+		Hits:          s.Hits - earlier.Hits,
+		Misses:        s.Misses - earlier.Misses,
+		Evaluations:   s.Evaluations - earlier.Evaluations,
+		ProjectedHits: s.ProjectedHits - earlier.ProjectedHits,
+		RelevantDefs:  s.RelevantDefs - earlier.RelevantDefs,
 	}
 }
 
-// ConfigEval is one memoized configuration evaluation: the cost of every
-// query (in input order) under the configuration. Cached values are
-// shared between callers and must not be mutated.
+// AtomInfo is the assembly metadata of one query's atom within a
+// ConfigEval: how many definitions survived relevance projection for
+// the query, and whether the atom was served from the cache (including
+// joining an in-flight evaluation) instead of a CostService call this
+// engine call paid for.
+type AtomInfo struct {
+	Relevant int
+	Hit      bool
+}
+
+// ConfigEval is one configuration evaluation: the cost of every query
+// (in input order) under the configuration, reassembled from
+// per-(query, projected sub-config) atoms. Atoms is parallel to
+// Queries and describes the assembly of this particular call; the
+// QueryEval contents are shared with the cache and must not be mutated.
 type ConfigEval struct {
 	Queries []QueryEval
+	Atoms   []AtomInfo
 }
 
 // entry is one cache slot; ready is closed once val/err are set, so
-// concurrent requests for the same key wait instead of re-evaluating.
+// concurrent requests for the same atom wait instead of re-evaluating.
 type entry struct {
 	ready chan struct{}
-	val   *ConfigEval
+	val   QueryEval
 	err   error
 }
 
@@ -87,17 +128,25 @@ type cacheShard struct {
 }
 
 // Engine is a concurrent, memoizing what-if evaluator over a
-// CostService. It is safe for concurrent use.
+// CostService. It decomposes every configuration evaluation into
+// per-(query, projected sub-config) atoms: only the definitions whose
+// patterns can serve a query (per the service's RelevantFilter, an
+// over-approximation via the containment kernel) are part of the
+// query's cache key and its CostService call, so evaluating base+{c}
+// after base only pays optimizer calls for the queries c is relevant
+// to. It is safe for concurrent use.
 type Engine struct {
-	svc     CostService
-	workers int
-	sem     chan struct{} // global per-query evaluation slots
+	svc          CostService
+	rel          RelevanceService // nil: collection-only projection
+	noProjection bool
+	workers      int
+	sem          chan struct{} // global per-query evaluation slots
 
 	shards      []*cacheShard
 	shardMask   uint32
 	maxPerShard int
 
-	hits, misses, evals atomic.Int64
+	hits, misses, evals, projHits, relDefs atomic.Int64
 }
 
 // NewEngine wraps the service in a concurrent memoizing engine.
@@ -114,11 +163,15 @@ func NewEngine(svc CostService, o Options) *Engine {
 		}
 	}
 	e := &Engine{
-		svc:       svc,
-		workers:   workers,
-		sem:       make(chan struct{}, workers),
-		shards:    make([]*cacheShard, nShards),
-		shardMask: uint32(nShards - 1),
+		svc:          svc,
+		noProjection: o.NoProjection,
+		workers:      workers,
+		sem:          make(chan struct{}, workers),
+		shards:       make([]*cacheShard, nShards),
+		shardMask:    uint32(nShards - 1),
+	}
+	if rs, ok := svc.(RelevanceService); ok && !o.NoProjection {
+		e.rel = rs
 	}
 	for i := range e.shards {
 		e.shards[i] = &cacheShard{m: map[string]*entry{}}
@@ -137,7 +190,13 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
-	return Stats{Hits: e.hits.Load(), Misses: e.misses.Load(), Evaluations: e.evals.Load()}
+	return Stats{
+		Hits:          e.hits.Load(),
+		Misses:        e.misses.Load(),
+		Evaluations:   e.evals.Load(),
+		ProjectedHits: e.projHits.Load(),
+		RelevantDefs:  e.relDefs.Load(),
+	}
 }
 
 // ConfigKey is the canonical, order-insensitive cache key of a
@@ -153,14 +212,14 @@ func ConfigKey(config []*catalog.IndexDef) string {
 	return strings.Join(parts, "\x1e")
 }
 
-// queriesKey fingerprints the query list so one engine can serve several
-// workloads without cache cross-talk. The hashed serialization is
+// queryKey fingerprints one query so atoms from different workloads (or
+// different queries of one workload) never cross-talk — and atoms for
+// the same (collection, text) are shared even across workloads, since a
+// QueryEval depends on nothing else. The hashed serialization is
 // length-prefixed, hence injective up to hash collisions.
-func queriesKey(queries []*querylang.Query) string {
+func queryKey(q *querylang.Query) string {
 	h := fnv.New64a()
-	for _, q := range queries {
-		fmt.Fprintf(h, "%d:%s|%d:%s|%d:%s;", len(q.Collection), q.Collection, len(q.ID), q.ID, len(q.Text), q.Text)
-	}
+	fmt.Fprintf(h, "%d:%s|%d:%s", len(q.Collection), q.Collection, len(q.Text), q.Text)
 	return strconv.FormatUint(h.Sum64(), 16)
 }
 
@@ -172,229 +231,198 @@ func (e *Engine) shard(key string) *cacheShard {
 
 // EvaluateQuery costs one query under the configuration, uncached.
 func (e *Engine) EvaluateQuery(ctx context.Context, q *querylang.Query, config []*catalog.IndexDef) (QueryEval, error) {
-	select {
-	case e.sem <- struct{}{}:
-	case <-ctx.Done():
-		return QueryEval{}, ctx.Err()
-	}
-	defer func() { <-e.sem }()
-	e.evals.Add(1)
-	return e.svc.EvaluateQuery(ctx, q, filterConfig(config, q.Collection))
+	return e.evalOne(ctx, q, filterConfig(config, q.Collection))
+}
+
+// atomPlan is the per-query half of an atom key, fixed at Bind time:
+// the query fingerprint prefix and its relevance predicate.
+type atomPlan struct {
+	q        *querylang.Query
+	prefix   string
+	relevant func(*catalog.IndexDef) bool // nil: collection filter only
 }
 
 // Bound is a what-if evaluation scope over a fixed query list: the
-// workload fingerprint is computed once, so per-configuration lookups
-// on the hot search path only canonicalize the configuration.
+// per-query fingerprints and relevance predicates are computed once, so
+// per-configuration lookups on the hot search path only project and
+// canonicalize the configuration.
 type Bound struct {
-	eng     *Engine
-	queries []*querylang.Query
-	prefix  string
+	eng   *Engine
+	atoms []atomPlan
 }
 
 // Bind fixes the query list the engine evaluates configurations over.
 func (e *Engine) Bind(queries []*querylang.Query) *Bound {
-	return &Bound{eng: e, queries: queries, prefix: queriesKey(queries) + "\x1f"}
+	b := &Bound{eng: e, atoms: make([]atomPlan, len(queries))}
+	for i, q := range queries {
+		b.atoms[i] = atomPlan{q: q, prefix: queryKey(q) + "\x1f"}
+		if e.rel != nil {
+			b.atoms[i].relevant = e.rel.RelevantFilter(q)
+		}
+	}
+	return b
+}
+
+// Queries returns the bound query list (in evaluation order).
+func (b *Bound) Queries() []*querylang.Query {
+	out := make([]*querylang.Query, len(b.atoms))
+	for i := range b.atoms {
+		out[i] = b.atoms[i].q
+	}
+	return out
+}
+
+// RelevantCounts returns, per bound query, the size of the
+// configuration's projected sub-config: how many definitions can serve
+// the query at all. No CostService calls.
+func (b *Bound) RelevantCounts(config []*catalog.IndexDef) []int {
+	out := make([]int, len(b.atoms))
+	for i := range b.atoms {
+		proj, _ := b.eng.projectAtom(&b.atoms[i], config)
+		out[i] = len(proj)
+	}
+	return out
 }
 
 // EvaluateConfig costs every bound query under the configuration; see
 // Engine.EvaluateConfig.
 func (b *Bound) EvaluateConfig(ctx context.Context, config []*catalog.IndexDef) (*ConfigEval, error) {
-	return b.eng.evaluateConfigKey(ctx, b.prefix+ConfigKey(config), b.queries, config)
+	evs, err := b.eng.evaluateBatch(ctx, b.atoms, [][]*catalog.IndexDef{config})
+	if err != nil {
+		return nil, err
+	}
+	return evs[0], nil
 }
 
 // EvaluateConfigBatch costs every bound query under each configuration,
-// as one unit: all cache keys are registered (or joined) in a single
-// pass, and the missing (configuration, query) evaluations are drained
-// by a fixed pool of workers pulling from one flat task list — one
-// dispatch for the whole burst instead of per-configuration singleflight
-// and goroutine fan-out. Results are in configs order; semantics match
-// calling EvaluateConfig per configuration. Lazy-greedy re-evaluation
-// bursts are the intended caller.
+// as one unit: all atom keys are registered (or joined) in a single
+// pass — identical projected sub-configs inside the batch are
+// scheduled once, no matter how many configurations they came from —
+// and the missing atoms are drained by a fixed pool of workers pulling
+// from one flat task list. Results are in configs order; semantics
+// match calling EvaluateConfig per configuration. Lazy-greedy
+// re-evaluation bursts are the intended caller.
 func (b *Bound) EvaluateConfigBatch(ctx context.Context, configs [][]*catalog.IndexDef) ([]*ConfigEval, error) {
-	return b.eng.evaluateConfigBatch(ctx, b.prefix, b.queries, configs)
+	return b.eng.evaluateBatch(ctx, b.atoms, configs)
 }
 
-// EvaluateConfig costs every query under the configuration, memoized by
-// (query list, configuration). Concurrent calls with the same key share
-// one evaluation; distinct keys share the engine's worker pool. The
-// returned value is cached and must not be mutated.
+// EvaluateConfig costs every query under the configuration, memoized
+// per (query, projected sub-config) atom. Concurrent calls needing the
+// same atom share one evaluation; distinct atoms share the engine's
+// worker pool. The returned QueryEval contents are shared with the
+// cache and must not be mutated.
 func (e *Engine) EvaluateConfig(ctx context.Context, queries []*querylang.Query, config []*catalog.IndexDef) (*ConfigEval, error) {
 	return e.Bind(queries).EvaluateConfig(ctx, config)
 }
 
-func (e *Engine) evaluateConfigKey(ctx context.Context, key string, queries []*querylang.Query, config []*catalog.IndexDef) (*ConfigEval, error) {
-	sh := e.shard(key)
-
-	for {
-		sh.mu.Lock()
-		if ent, ok := sh.m[key]; ok {
-			sh.mu.Unlock()
-			select {
-			case <-ent.ready:
-				if ent.err != nil {
-					// The owner may have failed on its *own* context,
-					// which says nothing about ours — retry with our
-					// live context (the dead entry is already
-					// evicted). Any other failure is the evaluation's
-					// own and is shared with every waiter; retrying
-					// would re-run a failing evaluation once per
-					// caller.
-					if err := ctx.Err(); err != nil {
-						return nil, err
-					}
-					if errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded) {
-						continue
-					}
-					return nil, ent.err
-				}
-				// Count the hit only once a shared value actually
-				// arrived, so error churn does not inflate the rate.
-				e.hits.Add(1)
-				return ent.val, nil
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			}
-		}
-		ent := &entry{ready: make(chan struct{})}
-		sh.insert(key, ent, e.maxPerShard)
-		sh.mu.Unlock()
-		e.misses.Add(1)
-
-		val, err := e.evaluate(ctx, queries, config)
-		if err != nil {
-			// Failed evaluations are not cached. Evict before waking
-			// waiters so their retry cannot rejoin this dead entry.
-			sh.mu.Lock()
-			if sh.m[key] == ent {
-				sh.remove(key)
-			}
-			sh.mu.Unlock()
-			ent.err = err
-			close(ent.ready)
-			return nil, err
-		}
-		ent.val = val
-		close(ent.ready)
-		return val, nil
+// projectAtom returns the sub-config the atom's query is costed
+// against — the collection's definitions, restricted to the relevance
+// predicate when the service provides one — plus whether any
+// definition of the full configuration was dropped. With NoProjection
+// the service still sees the collection-filtered slice (the CostService
+// contract), but the atom is keyed by the full configuration, so
+// dropped is always false.
+func (e *Engine) projectAtom(p *atomPlan, config []*catalog.IndexDef) ([]*catalog.IndexDef, bool) {
+	if e.noProjection {
+		return filterConfig(config, p.q.Collection), false
 	}
+	n := 0
+	for _, d := range config {
+		if d.Collection == p.q.Collection && (p.relevant == nil || p.relevant(d)) {
+			n++
+		}
+	}
+	if n == len(config) {
+		return config, false
+	}
+	out := make([]*catalog.IndexDef, 0, n)
+	for _, d := range config {
+		if d.Collection == p.q.Collection && (p.relevant == nil || p.relevant(d)) {
+			out = append(out, d)
+		}
+	}
+	return out, true
 }
 
-// evaluate fans the per-query evaluations across the worker pool.
-func (e *Engine) evaluate(ctx context.Context, queries []*querylang.Query, config []*catalog.IndexDef) (*ConfigEval, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	out := &ConfigEval{Queries: make([]QueryEval, len(queries))}
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
-	)
-	setErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		cancel()
-	}
-	for i, q := range queries {
-		wg.Add(1)
-		go func(i int, q *querylang.Query) {
-			defer wg.Done()
-			select {
-			case e.sem <- struct{}{}:
-			case <-ctx.Done():
-				setErr(ctx.Err())
-				return
-			}
-			defer func() { <-e.sem }()
-			if err := ctx.Err(); err != nil {
-				setErr(err)
-				return
-			}
-			e.evals.Add(1)
-			ev, err := e.svc.EvaluateQuery(ctx, q, filterConfig(config, q.Collection))
-			if err != nil {
-				setErr(err)
-				return
-			}
-			out.Queries[i] = ev
-		}(i, q)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+// ownedAtom is one atom this batch owns the evaluation of: its
+// singleflight entry plus the value under construction.
+type ownedAtom struct {
+	key    string
+	ent    *entry
+	qi     int
+	ci     int
+	svcCfg []*catalog.IndexDef
+	val    QueryEval
+	done   bool
+	err    error // this atom's failure, under the batch's error mutex
 }
 
-// batchOwned is one batch configuration this call owns the evaluation
-// of: its singleflight entry plus the value under construction.
-type batchOwned struct {
-	idx     int // position in the caller's configs slice
-	key     string
-	ent     *entry
-	val     *ConfigEval
-	pending atomic.Int64
-	err     error // first per-query failure, under the batch's error mutex
-}
-
-// evaluateConfigBatch is the batch form of evaluateConfigKey: one
-// key-registration pass, then one flat (owned config × query) task list
-// drained by a fixed worker pool. Each pool worker holds one engine
-// semaphore slot for its lifetime, so the burst still respects the
-// engine-wide evaluation budget while paying the per-query
-// synchronization once per worker instead of once per query.
-func (e *Engine) evaluateConfigBatch(ctx context.Context, prefix string, queries []*querylang.Query, configs [][]*catalog.IndexDef) ([]*ConfigEval, error) {
+// evaluateBatch is the engine's one evaluation path: a registration
+// pass projects every (configuration, query) pair to its atom key and
+// either claims it (first occurrence anywhere — in the cache, in
+// flight, or earlier in this very batch) or records a join; the owned
+// atoms are drained by a fixed worker pool over one flat task list,
+// each worker holding one engine semaphore slot for its lifetime;
+// owned entries are published (completed values cached, failed ones
+// evicted so waiters retry instead of rejoining a dead entry) before
+// any join is waited on, so in-batch duplicates can never deadlock.
+func (e *Engine) evaluateBatch(ctx context.Context, atoms []atomPlan, configs [][]*catalog.IndexDef) ([]*ConfigEval, error) {
 	out := make([]*ConfigEval, len(configs))
-	type joined struct {
-		idx int
-		key string
-		ent *entry
+	for i := range out {
+		out[i] = &ConfigEval{Queries: make([]QueryEval, len(atoms)), Atoms: make([]AtomInfo, len(atoms))}
 	}
-	var own []*batchOwned
-	var joins []joined
-	for i, cfg := range configs {
-		key := prefix + ConfigKey(cfg)
-		sh := e.shard(key)
-		sh.mu.Lock()
-		if ent, ok := sh.m[key]; ok {
+	type joinedAtom struct {
+		key     string
+		ent     *entry
+		qi, ci  int
+		svcCfg  []*catalog.IndexDef
+		dropped bool
+	}
+	var own []*ownedAtom
+	var joins []joinedAtom
+	for ci, cfg := range configs {
+		fullSuffix := "" // ConfigKey(cfg), computed at most once
+		for qi := range atoms {
+			p := &atoms[qi]
+			svcCfg, dropped := e.projectAtom(p, cfg)
+			var suffix string
+			if dropped {
+				suffix = ConfigKey(svcCfg)
+			} else {
+				if fullSuffix == "" && len(cfg) > 0 {
+					fullSuffix = ConfigKey(cfg)
+				}
+				suffix = fullSuffix
+			}
+			out[ci].Atoms[qi].Relevant = len(svcCfg)
+			key := p.prefix + suffix
+			sh := e.shard(key)
+			sh.mu.Lock()
+			if ent, ok := sh.m[key]; ok {
+				sh.mu.Unlock()
+				// Cached or in flight (possibly owned by this very
+				// batch, a duplicate projected sub-config): wait after
+				// the owned work completes.
+				joins = append(joins, joinedAtom{key: key, ent: ent, qi: qi, ci: ci,
+					svcCfg: svcCfg, dropped: dropped})
+				continue
+			}
+			ent := &entry{ready: make(chan struct{})}
+			sh.insert(key, ent, e.maxPerShard)
 			sh.mu.Unlock()
-			// Cached or in flight (possibly owned by this very batch, a
-			// duplicate config): wait after the owned work completes.
-			joins = append(joins, joined{idx: i, key: key, ent: ent})
-			continue
+			e.misses.Add(1)
+			e.relDefs.Add(int64(len(svcCfg)))
+			own = append(own, &ownedAtom{key: key, ent: ent, qi: qi, ci: ci, svcCfg: svcCfg})
 		}
-		ent := &entry{ready: make(chan struct{})}
-		sh.insert(key, ent, e.maxPerShard)
-		sh.mu.Unlock()
-		e.misses.Add(1)
-		o := &batchOwned{idx: i, key: key, ent: ent,
-			val: &ConfigEval{Queries: make([]QueryEval, len(queries))}}
-		o.pending.Store(int64(len(queries)))
-		own = append(own, o)
 	}
 
-	// Drain the owned (configuration, query) pairs through a fixed
-	// worker pool pulling an atomic cursor over one flat task list.
+	// Drain the owned atoms through a fixed worker pool pulling an
+	// atomic cursor over the flat task list.
 	var firstErr error
-	if n := len(own) * len(queries); n > 0 {
-		type task struct {
-			o  *batchOwned
-			qi int
-		}
-		tasks := make([]task, 0, n)
-		for _, o := range own {
-			for qi := range queries {
-				tasks = append(tasks, task{o: o, qi: qi})
-			}
-		}
+	if len(own) > 0 {
 		workers := e.workers
-		if workers > len(tasks) {
-			workers = len(tasks)
+		if workers > len(own) {
+			workers = len(own)
 		}
 		bctx, cancel := context.WithCancel(ctx)
 		var (
@@ -402,7 +430,7 @@ func (e *Engine) evaluateConfigBatch(ctx context.Context, prefix string, queries
 			wg    sync.WaitGroup
 			errMu sync.Mutex
 		)
-		fail := func(o *batchOwned, err error) {
+		fail := func(o *ownedAtom, err error) {
 			errMu.Lock()
 			if firstErr == nil {
 				firstErr = err
@@ -426,23 +454,22 @@ func (e *Engine) evaluateConfigBatch(ctx context.Context, prefix string, queries
 				defer func() { <-e.sem }()
 				for {
 					i := next.Add(1) - 1
-					if int(i) >= len(tasks) {
+					if int(i) >= len(own) {
 						return
 					}
 					if err := bctx.Err(); err != nil {
 						fail(nil, err)
 						return
 					}
-					t := tasks[i]
-					q := queries[t.qi]
+					o := own[i]
 					e.evals.Add(1)
-					ev, err := e.svc.EvaluateQuery(bctx, q, filterConfig(configs[t.o.idx], q.Collection))
+					ev, err := e.svc.EvaluateQuery(bctx, atoms[o.qi].q, o.svcCfg)
 					if err != nil {
-						fail(t.o, err)
+						fail(o, err)
 						return
 					}
-					t.o.val.Queries[t.qi] = ev
-					t.o.pending.Add(-1)
+					o.val = ev
+					o.done = true
 				}
 			}()
 		}
@@ -452,18 +479,17 @@ func (e *Engine) evaluateConfigBatch(ctx context.Context, prefix string, queries
 
 	// Publish every owned entry exactly once before touching the joins:
 	// completed values are cached for everyone, failed or cut-off ones
-	// are evicted so waiters retry instead of rejoining a dead entry
-	// (same contract as the single-configuration path).
+	// are evicted so waiters retry instead of rejoining a dead entry.
 	for _, o := range own {
-		if o.err == nil && o.pending.Load() == 0 {
+		if o.err == nil && o.done {
 			o.ent.val = o.val
 			close(o.ent.ready)
-			out[o.idx] = o.val
+			out[o.ci].Queries[o.qi] = o.val
 			continue
 		}
 		err := o.err
 		if err == nil {
-			err = firstErr // cancelled before this config's tasks ran
+			err = firstErr // cancelled before this atom's task ran
 		}
 		if err == nil {
 			err = context.Canceled
@@ -491,22 +517,101 @@ func (e *Engine) evaluateConfigBatch(ctx context.Context, prefix string, queries
 				// Owner died on its own context; re-evaluate with ours
 				// (the dead entry is already evicted).
 				if errors.Is(j.ent.err, context.Canceled) || errors.Is(j.ent.err, context.DeadlineExceeded) {
-					val, err := e.evaluateConfigKey(ctx, j.key, queries, configs[j.idx])
+					val, hit, err := e.evaluateAtom(ctx, j.key, atoms[j.qi].q, j.svcCfg, j.dropped)
 					if err != nil {
 						return nil, err
 					}
-					out[j.idx] = val
+					out[j.ci].Queries[j.qi] = val
+					out[j.ci].Atoms[j.qi].Hit = hit
 					continue
 				}
 				return nil, j.ent.err
 			}
+			// Count the hit only once a shared value actually arrived,
+			// so error churn does not inflate the rate.
 			e.hits.Add(1)
-			out[j.idx] = j.ent.val
+			e.relDefs.Add(int64(len(j.svcCfg)))
+			if j.dropped {
+				e.projHits.Add(1)
+			}
+			out[j.ci].Queries[j.qi] = j.ent.val
+			out[j.ci].Atoms[j.qi].Hit = true
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
 	return out, nil
+}
+
+// evaluateAtom is the single-atom singleflight path, used when a join
+// finds its owner died on the owner's own context: look the key up
+// again, joining any new in-flight evaluation, or claim and evaluate
+// it. The bool reports whether the value came from the cache.
+func (e *Engine) evaluateAtom(ctx context.Context, key string, q *querylang.Query, svcCfg []*catalog.IndexDef, dropped bool) (QueryEval, bool, error) {
+	sh := e.shard(key)
+	for {
+		sh.mu.Lock()
+		if ent, ok := sh.m[key]; ok {
+			sh.mu.Unlock()
+			select {
+			case <-ent.ready:
+				if ent.err != nil {
+					if err := ctx.Err(); err != nil {
+						return QueryEval{}, false, err
+					}
+					if errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded) {
+						continue
+					}
+					return QueryEval{}, false, ent.err
+				}
+				e.hits.Add(1)
+				e.relDefs.Add(int64(len(svcCfg)))
+				if dropped {
+					e.projHits.Add(1)
+				}
+				return ent.val, true, nil
+			case <-ctx.Done():
+				return QueryEval{}, false, ctx.Err()
+			}
+		}
+		ent := &entry{ready: make(chan struct{})}
+		sh.insert(key, ent, e.maxPerShard)
+		sh.mu.Unlock()
+		e.misses.Add(1)
+		e.relDefs.Add(int64(len(svcCfg)))
+
+		val, err := e.evalOne(ctx, q, svcCfg)
+		if err != nil {
+			// Failed evaluations are not cached. Evict before waking
+			// waiters so their retry cannot rejoin this dead entry.
+			sh.mu.Lock()
+			if sh.m[key] == ent {
+				sh.remove(key)
+			}
+			sh.mu.Unlock()
+			ent.err = err
+			close(ent.ready)
+			return QueryEval{}, false, err
+		}
+		ent.val = val
+		close(ent.ready)
+		return val, false, nil
+	}
+}
+
+// evalOne runs one CostService call under an engine semaphore slot.
+func (e *Engine) evalOne(ctx context.Context, q *querylang.Query, svcCfg []*catalog.IndexDef) (QueryEval, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return QueryEval{}, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	if err := ctx.Err(); err != nil {
+		return QueryEval{}, err
+	}
+	e.evals.Add(1)
+	return e.svc.EvaluateQuery(ctx, q, svcCfg)
 }
 
 // filterConfig restricts the configuration to one collection's indexes
@@ -588,12 +693,12 @@ func (s *cacheShard) remove(key string) {
 	delete(s.m, key)
 }
 
-// Flush drops every cached configuration evaluation (counters are
-// kept). Callers must flush after the underlying data or statistics
-// change: cached costs are keyed by query text and index definition
-// only, not by catalog version. In-flight evaluations are orphaned —
-// already-joined waiters still receive their result, but it is not
-// cached, and later requests re-evaluate against the new state.
+// Flush drops every cached atom (counters are kept). Callers must
+// flush after the underlying data or statistics change: cached costs
+// are keyed by query text and index definitions only, not by catalog
+// version. In-flight evaluations are orphaned — already-joined waiters
+// still receive their result, but it is not cached, and later requests
+// re-evaluate against the new state.
 func (e *Engine) Flush() {
 	for _, sh := range e.shards {
 		sh.mu.Lock()
@@ -604,7 +709,7 @@ func (e *Engine) Flush() {
 	}
 }
 
-// Len reports the number of cached configuration evaluations.
+// Len reports the number of cached per-(query, sub-config) atoms.
 func (e *Engine) Len() int {
 	n := 0
 	for _, sh := range e.shards {

@@ -2,6 +2,7 @@ package whatif
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"repro/internal/catalog"
@@ -9,9 +10,9 @@ import (
 
 // TestEvaluateConfigBatchMatchesSingle checks the batch entry point is
 // observationally identical to per-config EvaluateConfig: same values,
-// same caching (one miss per distinct configuration, duplicates inside
-// the batch join the owner), and a warm second batch costs zero service
-// calls.
+// same caching (one miss per distinct atom, duplicate sub-configs
+// inside the batch join the owner), and a warm second batch costs zero
+// service calls.
 func TestEvaluateConfigBatchMatchesSingle(t *testing.T) {
 	ctx := context.Background()
 	qs := testQueries(4)
@@ -56,13 +57,18 @@ func TestEvaluateConfigBatchMatchesSingle(t *testing.T) {
 			}
 		}
 	}
-	// Duplicates share the owner's value, not a second evaluation.
-	if got[0] != got[5] || got[1] != got[3] {
-		t.Error("duplicate configs in one batch did not share the owner's result")
+	// Duplicates join the owner's atoms, not a second evaluation: every
+	// atom of the duplicate configs resolves as a hit inside the batch.
+	for _, ci := range []int{3, 5} {
+		for qi := range qs {
+			if !got[ci].Atoms[qi].Hit {
+				t.Errorf("duplicate config %d query %d was not served by the in-batch owner", ci, qi)
+			}
+		}
 	}
 	distinct := 4 // {i1}, {i1,i2}, {}, {i3}
-	if st := e.Stats(); st.Misses != int64(distinct) {
-		t.Errorf("misses = %d, want %d", st.Misses, distinct)
+	if st := e.Stats(); st.Misses != int64(distinct*len(qs)) {
+		t.Errorf("misses = %d, want %d (one per distinct atom)", st.Misses, distinct*len(qs))
 	}
 	if calls := svc.calls.Load(); calls != int64(distinct*len(qs)) {
 		t.Errorf("service calls = %d, want %d", calls, distinct*len(qs))
@@ -75,8 +81,8 @@ func TestEvaluateConfigBatchMatchesSingle(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range again {
-		if again[i] != got[i] {
-			t.Errorf("config %d: warm batch did not return the cached value", i)
+		if !reflect.DeepEqual(again[i].Queries, got[i].Queries) {
+			t.Errorf("config %d: warm batch did not return the cached values", i)
 		}
 	}
 	if calls := svc.calls.Load(); calls != before {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -90,20 +91,32 @@ func TestEvaluateConfigMemoizes(t *testing.T) {
 			t.Errorf("q%d cost = %f, want %f", i, qe.Cost, want)
 		}
 	}
+	for qi, ai := range first.Atoms {
+		if ai.Hit || ai.Relevant != 2 {
+			t.Errorf("cold atom %d = %+v, want miss with 2 relevant defs", qi, ai)
+		}
+	}
 	again, err := e.EvaluateConfig(context.Background(), qs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again != first {
-		t.Error("second evaluation did not return the cached value")
+	if !reflect.DeepEqual(again.Queries, first.Queries) {
+		t.Error("second evaluation did not return the cached values")
+	}
+	for qi, ai := range again.Atoms {
+		if !ai.Hit {
+			t.Errorf("warm atom %d was not served from the cache", qi)
+		}
 	}
 	// A permutation of the same configuration must also hit.
 	if _, err := e.EvaluateConfig(context.Background(), qs, []*catalog.IndexDef{cfg[1], cfg[0]}); err != nil {
 		t.Fatal(err)
 	}
+	// One atom per (query, sub-config): 5 cold misses, then two warm
+	// passes of 5 hits each.
 	st := e.Stats()
-	if st.Misses != 1 || st.Hits != 2 {
-		t.Errorf("stats = %+v, want 1 miss / 2 hits", st)
+	if st.Misses != 5 || st.Hits != 10 {
+		t.Errorf("stats = %+v, want 5 misses / 10 hits", st)
 	}
 	if got := svc.calls.Load(); got != 5 {
 		t.Errorf("service called %d times, want 5", got)
@@ -150,8 +163,8 @@ func TestConcurrentEvaluationsAgree(t *testing.T) {
 		t.Error(err)
 	}
 	st := e.Stats()
-	if st.Misses != int64(len(configs)) {
-		t.Errorf("misses = %d, want %d (singleflight dedup)", st.Misses, len(configs))
+	if want := int64(len(configs) * len(qs)); st.Misses != want {
+		t.Errorf("misses = %d, want %d (singleflight dedup per atom)", st.Misses, want)
 	}
 	if want := int64(len(configs) * len(qs)); st.Evaluations != want {
 		t.Errorf("evaluations = %d, want %d", st.Evaluations, want)
@@ -191,7 +204,7 @@ func TestSingleflightDedup(t *testing.T) {
 		t.Errorf("service called %d times, want 1", got)
 	}
 	for i := 1; i < waiters; i++ {
-		if results[i] != results[0] {
+		if !reflect.DeepEqual(results[i].Queries, results[0].Queries) {
 			t.Fatal("waiters observed different results")
 		}
 	}
@@ -373,8 +386,8 @@ func TestErrorsAreNotCached(t *testing.T) {
 	if err != nil || res == nil {
 		t.Fatalf("retry after failure: %v", err)
 	}
-	if st := e.Stats(); st.Misses != 2 {
-		t.Errorf("misses = %d, want 2 (error entry evicted)", st.Misses)
+	if st := e.Stats(); st.Misses != 4 {
+		t.Errorf("misses = %d, want 4 (2 queries x 2 attempts, error atoms evicted)", st.Misses)
 	}
 }
 
@@ -386,8 +399,8 @@ func TestFlushInvalidatesCache(t *testing.T) {
 	if _, err := e.EvaluateConfig(context.Background(), qs, cfg); err != nil {
 		t.Fatal(err)
 	}
-	if e.Len() != 1 {
-		t.Fatalf("len = %d before flush", e.Len())
+	if e.Len() != 2 {
+		t.Fatalf("len = %d before flush, want one atom per query", e.Len())
 	}
 	e.Flush()
 	if e.Len() != 0 {
@@ -397,8 +410,8 @@ func TestFlushInvalidatesCache(t *testing.T) {
 	if _, err := e.EvaluateConfig(context.Background(), qs, cfg); err != nil {
 		t.Fatal(err)
 	}
-	if st := e.Stats(); st.Misses != 2 {
-		t.Errorf("misses = %d, want 2 (flushed entry re-evaluated)", st.Misses)
+	if st := e.Stats(); st.Misses != 4 {
+		t.Errorf("misses = %d, want 4 (flushed atoms re-evaluated)", st.Misses)
 	}
 	if got := svc.calls.Load(); got != 4 {
 		t.Errorf("service called %d times, want 4", got)

@@ -1,0 +1,223 @@
+package whatif
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/querylang"
+)
+
+// relService is a CostService with an explicit relevance table: def name
+// -> relevant query IDs. Its cost honors the RelevanceService contract —
+// only relevant definitions change a query's cost — so projection is
+// exactly cost-preserving for it.
+type relService struct {
+	fakeService
+	// relevant[qID][defName] marks the def relevant to the query.
+	relevant map[string]map[string]bool
+}
+
+func (f *relService) EvaluateQuery(ctx context.Context, q *querylang.Query, config []*catalog.IndexDef) (QueryEval, error) {
+	ev, err := f.fakeService.EvaluateQuery(ctx, q, config)
+	if err != nil {
+		return ev, err
+	}
+	// Recost counting only the relevant defs, so irrelevant ones are
+	// genuinely inert (the contract projection relies on).
+	base := ev.CostNoIndexes
+	ev.Cost = base
+	ev.UsedIndexes = nil
+	for _, d := range config {
+		if f.relevant[q.ID][d.Name] {
+			ev.Cost -= 10
+			ev.UsedIndexes = append(ev.UsedIndexes, d.Name)
+		}
+	}
+	return ev, nil
+}
+
+func (f *relService) RelevantFilter(q *querylang.Query) func(*catalog.IndexDef) bool {
+	rel := f.relevant[q.ID]
+	return func(d *catalog.IndexDef) bool { return rel[d.Name] }
+}
+
+// TestProjectionSharesAtomsAcrossConfigs is the tentpole property:
+// configurations that differ only in definitions irrelevant to a query
+// share that query's atom, so growing a configuration only pays service
+// calls for the queries the new definition is relevant to.
+func TestProjectionSharesAtomsAcrossConfigs(t *testing.T) {
+	svc := &relService{relevant: map[string]map[string]bool{
+		"Q1": {"I1": true},
+		"Q2": {"I2": true},
+	}}
+	e := NewEngine(svc, Options{Workers: 4})
+	qs := testQueries(2)
+	i1, i2 := testDef("I1", "c", "/a/b"), testDef("I2", "c", "/a/c")
+	b := e.Bind(qs)
+	ctx := context.Background()
+
+	// {I1}: Q1 keeps I1 (full config, no drop), Q2 projects to {}.
+	if _, err := b.EvaluateConfig(ctx, []*catalog.IndexDef{i1}); err != nil {
+		t.Fatal(err)
+	}
+	// {I1,I2}: Q1 projects to {I1} — the atom already cached — and only
+	// Q2's new {I2} atom costs a service call.
+	second, err := b.EvaluateConfig(ctx, []*catalog.IndexDef{i1, i2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Atoms[0].Hit || second.Atoms[1].Hit {
+		t.Errorf("atoms = %+v, want Q1 hit / Q2 miss", second.Atoms)
+	}
+	if second.Atoms[0].Relevant != 1 || second.Atoms[1].Relevant != 1 {
+		t.Errorf("atoms = %+v, want 1 relevant def each", second.Atoms)
+	}
+	// {I2}: Q2's projection {I2} was cached by the {I1,I2} call; only
+	// Q1's empty projection is new.
+	third, err := b.EvaluateConfig(ctx, []*catalog.IndexDef{i2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Atoms[0].Hit || !third.Atoms[1].Hit {
+		t.Errorf("atoms = %+v, want Q1 miss / Q2 hit", third.Atoms)
+	}
+	st := e.Stats()
+	if st.Misses != 4 || st.Hits != 2 {
+		t.Errorf("stats = %+v, want 4 misses / 2 hits", st)
+	}
+	// Q1's hit joined a key its projection shortened ({I1,I2} -> {I1});
+	// Q2's hit joined a full-config key ({I2} requested as-is).
+	if st.ProjectedHits != 1 {
+		t.Errorf("projected hits = %d, want 1", st.ProjectedHits)
+	}
+	if calls := svc.calls.Load(); calls != 4 {
+		t.Errorf("service calls = %d, want 4", calls)
+	}
+	// RelevantDefs: one def for each of Q1{I1} (x2 lookups), Q2{I2}
+	// (x2 lookups); zero for the empty projections.
+	if st.RelevantDefs != 4 {
+		t.Errorf("relevant defs = %d, want 4", st.RelevantDefs)
+	}
+	if got := st.MeanRelevant(); got != 4.0/6.0 {
+		t.Errorf("mean relevant = %f, want %f", got, 4.0/6.0)
+	}
+}
+
+// TestProjectionBatchDedup pins the in-batch dedup on projected keys:
+// configurations whose per-query projections coincide are scheduled once
+// per atom, no matter how they differ in irrelevant definitions.
+func TestProjectionBatchDedup(t *testing.T) {
+	svc := &relService{relevant: map[string]map[string]bool{
+		"Q1": {"I1": true},
+	}}
+	e := NewEngine(svc, Options{Workers: 4})
+	qs := testQueries(1)
+	i1, i2, i3 := testDef("I1", "c", "/a/b"), testDef("I2", "c", "/a/c"), testDef("I3", "c", "/a/d")
+	b := e.Bind(qs)
+
+	configs := [][]*catalog.IndexDef{
+		{i1},         // projects to {I1}, no drop
+		{i1, i2},     // projects to {I1}
+		{i3, i1, i2}, // projects to {I1}
+	}
+	got, err := b.EvaluateConfigBatch(context.Background(), configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := 1; ci < len(got); ci++ {
+		if !reflect.DeepEqual(got[ci].Queries, got[0].Queries) {
+			t.Errorf("config %d: projected duplicate differs from owner", ci)
+		}
+		if !got[ci].Atoms[0].Hit {
+			t.Errorf("config %d: projected duplicate was not joined in-batch", ci)
+		}
+	}
+	st := e.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.ProjectedHits != 2 {
+		t.Errorf("stats = %+v, want 1 miss / 2 hits / 2 projected hits", st)
+	}
+	if calls := svc.calls.Load(); calls != 1 {
+		t.Errorf("service calls = %d, want 1 for three projected-identical configs", calls)
+	}
+}
+
+// TestNoProjectionKeysFullConfig checks the measured-baseline mode:
+// atoms are keyed by the whole configuration, so configurations
+// differing only in irrelevant defs never share, while the costs remain
+// identical to the projected engine's.
+func TestNoProjectionKeysFullConfig(t *testing.T) {
+	mk := func(noProj bool) (*relService, *Engine) {
+		svc := &relService{relevant: map[string]map[string]bool{"Q1": {"I1": true}}}
+		return svc, NewEngine(svc, Options{Workers: 4, NoProjection: noProj})
+	}
+	qs := testQueries(1)
+	i1, i2 := testDef("I1", "c", "/a/b"), testDef("I2", "c", "/a/c")
+	ctx := context.Background()
+
+	baseSvc, base := mk(true)
+	projSvc, proj := mk(false)
+	for _, cfg := range [][]*catalog.IndexDef{{i1}, {i1, i2}} {
+		want, err := base.EvaluateConfig(ctx, qs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := proj.EvaluateConfig(ctx, qs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Queries, want.Queries) {
+			t.Errorf("config %v: projected engine differs from baseline", cfg)
+		}
+	}
+	if st := base.Stats(); st.Misses != 2 || st.ProjectedHits != 0 {
+		t.Errorf("baseline stats = %+v, want 2 misses / 0 projected hits", st)
+	}
+	if calls := baseSvc.calls.Load(); calls != 2 {
+		t.Errorf("baseline service calls = %d, want 2", calls)
+	}
+	// The projected engine collapses both configs onto the {I1} atom.
+	if calls := projSvc.calls.Load(); calls != 1 {
+		t.Errorf("projected service calls = %d, want 1", calls)
+	}
+}
+
+// TestRelevantCounts checks the eval-free projected-size probe.
+func TestRelevantCounts(t *testing.T) {
+	svc := &relService{relevant: map[string]map[string]bool{
+		"Q1": {"I1": true, "I2": true},
+		"Q2": {"I2": true},
+		"Q3": {},
+	}}
+	e := NewEngine(svc, Options{})
+	b := e.Bind(testQueries(3))
+	cfg := []*catalog.IndexDef{
+		testDef("I1", "c", "/a/b"),
+		testDef("I2", "c", "/a/c"),
+		testDef("I3", "other", "/a/d"), // wrong collection for every query
+	}
+	got := b.RelevantCounts(cfg)
+	if want := []int{2, 1, 0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("relevant counts = %v, want %v", got, want)
+	}
+	if calls := svc.calls.Load(); calls != 0 {
+		t.Errorf("RelevantCounts issued %d service calls", calls)
+	}
+}
+
+func TestNewRelevanceStats(t *testing.T) {
+	if got := NewRelevanceStats(nil); got != (RelevanceStats{}) {
+		t.Errorf("empty input: %+v", got)
+	}
+	counts := []int{5, 1, 3, 3, 2, 8, 3, 4, 2, 1} // sorted: 1 1 2 2 3 3 3 4 5 8
+	got := NewRelevanceStats(counts)
+	want := RelevanceStats{Queries: 10, Min: 1, Median: 3, P95: 8, Max: 8, Mean: 3.2}
+	if got != want {
+		t.Errorf("stats = %+v, want %+v", got, want)
+	}
+	one := NewRelevanceStats([]int{7})
+	if one.Min != 7 || one.Median != 7 || one.P95 != 7 || one.Max != 7 || one.Mean != 7 {
+		t.Errorf("single-element stats = %+v", one)
+	}
+}

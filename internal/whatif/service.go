@@ -11,8 +11,11 @@
 //     future backend (a real DB2 EXPLAIN connection, a learned cost
 //     model) only has to implement this interface.
 //   - Engine turns a CostService into something a search can hammer:
-//     per-configuration evaluations fan out across a bounded worker
-//     pool, results are memoized behind a sharded cache with
+//     evaluations are decomposed into per-(query, projected sub-config)
+//     atoms via relevance projection (only the definitions whose
+//     patterns can serve a query are part of its cache key and its
+//     optimizer call), the atoms fan out across a bounded worker pool,
+//     results are memoized behind a sharded cache with
 //     singleflight-style deduplication, and hit/miss/evaluation
 //     counters are exposed for benchmarking.
 package whatif
@@ -58,8 +61,23 @@ func (e QueryEval) Explain(queryText string, config []*catalog.IndexDef) string 
 // Engine calls EvaluateQuery from many goroutines.
 type CostService interface {
 	// EvaluateQuery estimates the cost of q under config. The config
-	// defs passed in are already restricted to q's collection.
+	// defs passed in are already restricted to q's collection — and,
+	// when the service also implements RelevanceService, to the defs
+	// its own RelevantFilter accepted for q, so the cost must not
+	// depend on definitions the filter rejects.
 	EvaluateQuery(ctx context.Context, q *querylang.Query, config []*catalog.IndexDef) (QueryEval, error)
+}
+
+// RelevanceService is the optional CostService extension behind the
+// engine's relevance projection. RelevantFilter returns a predicate
+// reporting whether an index definition can influence q's cost under
+// this service — an over-approximation is fine (a kept-but-useless def
+// only costs cache sharing), but the predicate must never reject a
+// definition that can change the result, or projection stops being
+// cost-preserving. Services that do not implement it fall back to
+// collection-only projection.
+type RelevanceService interface {
+	RelevantFilter(q *querylang.Query) func(*catalog.IndexDef) bool
 }
 
 // OptimizerService implements CostService over the in-process cost-based
@@ -75,6 +93,13 @@ type OptimizerService struct {
 // costing service.
 func NewOptimizerService(opt *optimizer.Optimizer) *OptimizerService {
 	return &OptimizerService{Opt: opt, VirtualOnly: true}
+}
+
+// RelevantFilter implements RelevanceService: an index definition is
+// relevant to q iff the optimizer's own index-matching rule
+// (type match + pattern containment) can apply it to one of q's legs.
+func (s *OptimizerService) RelevantFilter(q *querylang.Query) func(*catalog.IndexDef) bool {
+	return optimizer.RelevantFilter(q)
 }
 
 // EvaluateQuery implements CostService.
