@@ -37,6 +37,7 @@ import (
 	"repro/internal/search"
 	"repro/internal/sqltype"
 	"repro/internal/stats"
+	"repro/internal/whatif"
 	"repro/internal/workload"
 )
 
@@ -94,6 +95,28 @@ func New(cat *Catalog, opts ...Option) (*Advisor, error) {
 
 // Workers is the what-if engine's evaluation parallelism (>= 1).
 func (a *Advisor) Workers() int { return a.core.CostEngine().Workers() }
+
+// Resilience reports the costing resilience middleware's circuit-
+// breaker state ("closed", "open", "half-open") and its lifetime
+// counters. ok is false when the advisor was built without
+// WithResilience.
+func (a *Advisor) Resilience() (state string, counters ResilienceStats, ok bool) {
+	res := a.core.Resilient()
+	if res == nil {
+		return "", ResilienceStats{}, false
+	}
+	return res.State().String(), res.ResilienceCounters(), true
+}
+
+// Degraded reports whether the advisor is currently degraded: the
+// costing circuit breaker is not closed, so uncached what-if
+// evaluations fail fast and recommendations may come back best-so-far.
+// Always false without WithResilience. The xiad health endpoint
+// surfaces this as status "degraded".
+func (a *Advisor) Degraded() bool {
+	state, _, ok := a.Resilience()
+	return ok && state != whatif.BreakerClosed.String()
+}
 
 // Strategy is the advisor's default search strategy (canonical name),
 // used by requests that do not name one.

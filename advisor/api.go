@@ -22,6 +22,13 @@ const APIVersion = "v1"
 // wraps; the xiad server maps it to HTTP 400.
 var ErrInvalidRequest = errors.New("advisor: invalid request")
 
+// ErrCostServiceUnavailable is the sentinel a recommendation fails
+// with when the costing circuit breaker (WithResilience) is open and
+// no best-so-far result could be served; the xiad server maps it to
+// HTTP 503 with a Retry-After hint. Degraded runs that do return a
+// result carry RecommendResponse.Degraded instead of this error.
+var ErrCostServiceUnavailable = whatif.ErrCircuitOpen
+
 // RequestError reports one invalid request field. It unwraps to
 // ErrInvalidRequest.
 type RequestError struct {
@@ -51,6 +58,10 @@ type (
 	Trace = search.Trace
 	// CacheStats are what-if engine counter deltas for one run.
 	CacheStats = whatif.Stats
+	// ResilienceStats are the costing resilience middleware's counters
+	// (retries, breaker trips and rejects, call timeouts, recovered
+	// panics), nested in CacheStats and reported by Advisor.Resilience.
+	ResilienceStats = whatif.ResilienceStats
 	// RelevanceStats summarize per-query relevant-candidate counts: how
 	// many of the session's candidates can serve each workload query at
 	// all, as the engine's relevance projection sees it.
@@ -206,6 +217,12 @@ type RecommendResponse struct {
 	QueryBenefit float64 `json:"queryBenefit"`
 	UpdateCost   float64 `json:"updateCost"`
 	NetBenefit   float64 `json:"netBenefit"`
+	// Degraded marks a best-so-far response: the what-if cost service
+	// became unavailable mid-run (circuit breaker open) and the anytime
+	// contract returned the best configuration evaluated before the
+	// outage instead of failing. DegradedReason says what gave out.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
 	// PerQuery is the recommendation analysis (Figure 5).
 	PerQuery []QueryCost `json:"perQuery"`
 	// Candidates summarizes the session's candidate space.

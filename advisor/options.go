@@ -9,7 +9,18 @@ import (
 	"repro/internal/core"
 	"repro/internal/search"
 	"repro/internal/store"
+	"repro/internal/whatif"
 )
+
+// CostService is the what-if costing contract the advisor's engine
+// evaluates queries through; WithCostWrapper interposes on it.
+type CostService = whatif.CostService
+
+// ResilienceOptions tune the costing resilience middleware
+// (WithResilience): per-call timeout, bounded retries with
+// deterministic jitter, and the circuit breaker. The zero value means
+// production defaults for every knob.
+type ResilienceOptions = whatif.ResilientOptions
 
 // ErrInvalidOption is the sentinel every option-validation failure
 // wraps; match with errors.Is.
@@ -36,8 +47,9 @@ func (e *OptionError) Unwrap() error { return ErrInvalidOption }
 // config is the advisor's resolved configuration: the core options plus
 // the facade-level request defaults.
 type config struct {
-	core     core.Options
-	deadline time.Duration
+	core      core.Options
+	deadline  time.Duration
+	faultSpec string
 }
 
 func defaultConfig() config {
@@ -218,6 +230,37 @@ func WithTraceCap(n int) Option {
 	return func(c *config) { c.core.TraceCap = n }
 }
 
+// WithResilience wraps the what-if cost service in the resilience
+// middleware, directly below the memoizing engine: per-call timeouts,
+// bounded retries with exponential backoff and deterministic jitter,
+// and a circuit breaker that fails fast (ErrCircuitOpen) while the
+// backend is down — cached evaluations keep serving throughout. With
+// anytime mode on, a breaker opening mid-search degrades the
+// recommendation to best-so-far (RecommendResponse.Degraded) instead
+// of failing it. The zero ResilienceOptions value selects production
+// defaults.
+func WithResilience(o ResilienceOptions) Option {
+	return func(c *config) { ro := o; c.core.Resilience = &ro }
+}
+
+// WithCostWrapper interposes wrap on the what-if cost service, below
+// the resilience middleware (engine → resilience → wrap(backend)). It
+// exists for fault injection and backend shims; wrap must return a
+// service safe for concurrent use.
+func WithCostWrapper(wrap func(CostService) CostService) Option {
+	return func(c *config) { c.core.CostWrapper = wrap }
+}
+
+// WithFaultInjection wraps the cost service in the deterministic
+// fault injector (chaos testing, the CI soak, `xiad -faults`). The
+// spec is the whatif.ParseFaultSpec syntax, e.g.
+// "seed=7,error=0.1,latency=0.05:3ms,panic=25"; an invalid spec fails
+// New. The empty spec disables injection. Composes with
+// WithCostWrapper: the injector wraps the wrapped service.
+func WithFaultInjection(spec string) Option {
+	return func(c *config) { c.faultSpec = spec }
+}
+
 // validate is the single defaulting/validation path for advisor
 // configuration, replacing per-command flag checks. It normalizes the
 // strategy to its canonical name.
@@ -259,6 +302,19 @@ func (c *config) validate() error {
 	if c.deadline < 0 {
 		return &OptionError{Option: "WithDeadline", Value: c.deadline,
 			Reason: "deadline must be >= 0 (0 = none)"}
+	}
+	if c.faultSpec != "" {
+		sched, err := whatif.ParseFaultSpec(c.faultSpec)
+		if err != nil {
+			return &OptionError{Option: "WithFaultInjection", Value: c.faultSpec, Reason: err.Error()}
+		}
+		user := c.core.CostWrapper
+		c.core.CostWrapper = func(svc whatif.CostService) whatif.CostService {
+			if user != nil {
+				svc = user(svc)
+			}
+			return whatif.NewFaultService(svc, sched)
+		}
 	}
 	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/advisor"
@@ -41,6 +42,16 @@ type Options struct {
 	// MaxSessions bounds concurrently open sessions (0 = unlimited);
 	// opening past the bound answers 429.
 	MaxSessions int
+	// MaxInFlight bounds concurrently served recommendations across all
+	// sessions (0 = unlimited). A recommend past the bound answers 429
+	// with a Retry-After header instead of queueing — searches are CPU-
+	// bound, so admission control beats an unbounded backlog.
+	MaxInFlight int
+	// RequestTimeout bounds each recommend request's wall clock on the
+	// server side (0 = none), independent of the advisor's own deadline
+	// options. With anytime mode on, an expired timeout degrades to
+	// best-so-far instead of failing.
+	RequestTimeout time.Duration
 	// Now is the clock (nil = time.Now), a test hook for eviction.
 	Now func() time.Time
 }
@@ -51,6 +62,10 @@ type Server struct {
 	opts  Options
 	mux   *http.ServeMux
 	start time.Time
+
+	// inflight counts recommend requests currently being served, for
+	// MaxInFlight admission and the health report.
+	inflight atomic.Int64
 
 	mu       sync.Mutex
 	seq      int64
@@ -115,8 +130,26 @@ func New(adv *advisor.Advisor, opts Options) *Server {
 	return s
 }
 
-// ServeHTTP dispatches to the v1 routes.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP dispatches to the v1 routes behind a panic-recovery
+// middleware: a panic escaping any handler becomes a JSON 500 (best
+// effort — headers may already be written on a streaming response)
+// instead of killing the connection goroutine with a stack splat.
+// http.ErrAbortHandler is re-raised: that is net/http's own
+// abort-this-response protocol, not a failure.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.error(w, http.StatusInternalServerError, fmt.Sprintf("internal error: recovered panic: %v", rec))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// InFlight counts recommend requests currently being served.
+func (s *Server) InFlight() int { return int(s.inflight.Load()) }
 
 // Janitor evicts idle sessions every interval until ctx is cancelled.
 // Run it in a goroutine next to http.Serve; tests call EvictIdle
@@ -204,12 +237,22 @@ type StrategyList struct {
 	Strategies []string `json:"strategies"`
 }
 
-// Health is the GET /v1/healthz response.
+// Health is the GET /v1/healthz response. Status is "ok", or
+// "degraded" while the advisor's costing circuit breaker is not closed
+// (uncached what-if evaluations fail fast; recommendations may come
+// back best-so-far with "degraded": true).
 type Health struct {
 	APIVersion string `json:"apiVersion"`
 	Status     string `json:"status"`
 	Sessions   int    `json:"sessions"`
 	UptimeMS   int64  `json:"uptimeMs"`
+	// Breaker is the costing circuit breaker state ("closed", "open",
+	// "half-open"); empty when the advisor runs without resilience
+	// middleware.
+	Breaker string `json:"breaker,omitempty"`
+	// InFlight counts recommend requests currently being served
+	// (bounded by Options.MaxInFlight when set).
+	InFlight int `json:"inFlight"`
 }
 
 // Error is the JSON error envelope every non-2xx response carries.
@@ -318,6 +361,16 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	// Admission control before any work: searches are CPU-bound, so
+	// requests past the in-flight bound are bounced with 429 and a
+	// Retry-After hint instead of piling onto an unbounded backlog.
+	n := s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if max := s.opts.MaxInFlight; max > 0 && n > int64(max) {
+		w.Header().Set("Retry-After", "1")
+		s.error(w, http.StatusTooManyRequests, fmt.Sprintf("recommendation limit reached (%d in flight)", max))
+		return
+	}
 	// Resolve and touch atomically under the server lock: from here the
 	// session counts as active, so the janitor cannot evict it while
 	// the body is still being read or the search runs.
@@ -330,13 +383,22 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	if s.opts.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	if r.URL.Query().Get("stream") != "" {
 		s.recommendStream(w, r, e, req)
 		return
 	}
 	resp, err := e.sess.Recommend(r.Context(), req)
 	if err != nil {
-		s.error(w, statusFor(err), err.Error())
+		code := statusFor(err)
+		if code == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		s.error(w, code, err.Error())
 		return
 	}
 	s.json(w, http.StatusOK, resp)
@@ -376,12 +438,20 @@ func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.json(w, http.StatusOK, Health{
+	h := Health{
 		APIVersion: advisor.APIVersion,
 		Status:     "ok",
 		Sessions:   s.SessionCount(),
 		UptimeMS:   int64(s.opts.Now().Sub(s.start) / time.Millisecond),
-	})
+		InFlight:   s.InFlight(),
+	}
+	if state, _, ok := s.adv.Resilience(); ok {
+		h.Breaker = state
+		if s.adv.Degraded() {
+			h.Status = "degraded"
+		}
+	}
+	s.json(w, http.StatusOK, h)
 }
 
 // --- helpers ---
@@ -452,14 +522,17 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 // statusFor maps advisor errors to HTTP statuses: invalid requests and
-// options are the client's fault; a closed session is gone; everything
-// else is a server-side failure.
+// options are the client's fault; a closed session is gone; an open
+// costing circuit breaker is a temporary outage worth retrying;
+// everything else (recovered panics included) is a server-side failure.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, advisor.ErrInvalidRequest), errors.Is(err, advisor.ErrInvalidOption):
 		return http.StatusBadRequest
 	case errors.Is(err, advisor.ErrSessionClosed):
 		return http.StatusGone
+	case errors.Is(err, advisor.ErrCostServiceUnavailable):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	default:

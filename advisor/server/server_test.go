@@ -18,6 +18,7 @@ import (
 	"repro/advisor/server"
 	"repro/internal/catalog"
 	"repro/internal/experiments"
+	"repro/internal/testleak"
 )
 
 // newTestServer spins up the xiad handler over the shared small XMark
@@ -82,6 +83,7 @@ func openSession(t *testing.T, ts *httptest.Server, workloadText string) server.
 // strategies, create, get, list, recommend, delete, and the 404 after
 // deletion.
 func TestSessionLifecycle(t *testing.T) {
+	testleak.Check(t)
 	ts, _, wl := newTestServer(t, server.Options{})
 
 	var health server.Health
@@ -162,6 +164,7 @@ func TestSessionLifecycle(t *testing.T) {
 // concurrent recommend calls against one shared session (run under
 // -race in CI), each byte-identical to its serial twin.
 func TestConcurrentRecommends(t *testing.T) {
+	testleak.Check(t)
 	ts, _, wl := newTestServer(t, server.Options{})
 	info := openSession(t, ts, wl)
 	url := ts.URL + "/v1/sessions/" + info.ID + "/recommend"
@@ -257,6 +260,7 @@ func readSSE(t *testing.T, body io.Reader) []sseEvent {
 // delivers search trace events before the final response, in sequence
 // order, with matching SSE event names.
 func TestSSEStreamOrdering(t *testing.T) {
+	testleak.Check(t)
 	ts, _, wl := newTestServer(t, server.Options{})
 	info := openSession(t, ts, wl)
 
@@ -311,6 +315,7 @@ func TestSSEStreamOrdering(t *testing.T) {
 
 // TestMalformedRequests pins the 4xx surface.
 func TestMalformedRequests(t *testing.T) {
+	testleak.Check(t)
 	ts, _, wl := newTestServer(t, server.Options{})
 	info := openSession(t, ts, wl)
 	recommendURL := ts.URL + "/v1/sessions/" + info.ID + "/recommend"
@@ -364,6 +369,7 @@ func TestMalformedRequests(t *testing.T) {
 // either returns a best-so-far result or a timeout status — never a
 // hang, never a malformed response.
 func TestRequestTimeoutAnytime(t *testing.T) {
+	testleak.Check(t)
 	ts, _, wl := newTestServer(t, server.Options{})
 	info := openSession(t, ts, wl)
 
@@ -397,6 +403,7 @@ func TestRequestTimeoutAnytime(t *testing.T) {
 // TestIdleEviction pins the janitor contract with a fake clock: idle
 // sessions past the TTL are evicted and answer 404, fresh ones survive.
 func TestIdleEviction(t *testing.T) {
+	testleak.Check(t)
 	now := time.Unix(1700000000, 0)
 	var clockMu sync.Mutex
 	clock := func() time.Time {
@@ -425,6 +432,7 @@ func TestIdleEviction(t *testing.T) {
 
 // TestSessionLimit pins MaxSessions.
 func TestSessionLimit(t *testing.T) {
+	testleak.Check(t)
 	ts, _, wl := newTestServer(t, server.Options{MaxSessions: 1})
 	openSession(t, ts, wl)
 	decodeJSON(t, postJSON(t, ts.URL+"/v1/sessions",

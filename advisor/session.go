@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/search"
+	"repro/internal/whatif"
 )
 
 // ErrSessionClosed is returned by operations on a closed session.
@@ -103,12 +104,29 @@ func (s *Session) Recommend(ctx context.Context, req RecommendRequest) (*Recomme
 func (s *Session) RecommendStream(ctx context.Context, req RecommendRequest) <-chan Event {
 	ch := make(chan Event, 64)
 	go func() {
-		defer close(ch)
 		var (
 			seqMu   sync.Mutex
 			seq     int
 			dropped int
 		)
+		defer close(ch)
+		// A panic anywhere on the streaming path (a custom strategy, a
+		// conversion bug) must terminate the stream with a typed error
+		// event, never kill the process or strand the consumer on an
+		// open channel. The send is non-blocking: a consumer that went
+		// away gets the channel close instead.
+		defer func() {
+			if r := recover(); r != nil {
+				err := whatif.NewPanicError("advisor: recommend stream", r)
+				seqMu.Lock()
+				e := Event{Type: EventError, Error: err.Error(), Seq: seq}
+				seqMu.Unlock()
+				select {
+				case ch <- e:
+				default:
+				}
+			}
+		}()
 		// send delivers a must-arrive event, waiting for the consumer
 		// (or its cancellation); sendTrace never blocks the search.
 		send := func(e Event) {
@@ -174,22 +192,24 @@ func (s *Session) recommend(ctx context.Context, req RecommendRequest, obs func(
 // response converts a core recommendation into the v1 response DTO.
 func (s *Session) response(rec *core.Recommendation, strategy string, budgetPages int64, req RecommendRequest) *RecommendResponse {
 	resp := &RecommendResponse{
-		APIVersion:   APIVersion,
-		Workload:     s.name,
-		Strategy:     strategy,
-		BudgetPages:  budgetPages,
-		TotalPages:   rec.TotalPages,
-		QueryBenefit: rec.QueryBenefit,
-		UpdateCost:   rec.UpdateCost,
-		NetBenefit:   rec.NetBenefit,
-		Candidates:   s.Candidates(),
-		Pipeline:     rec.Gen,
-		Search:       rec.Search,
-		Cache:        rec.Cache,
-		Kernel:       rec.Kernel,
-		Relevance:    rec.Relevance,
-		Evaluations:  int64(rec.Evaluations),
-		ElapsedMS:    int64(rec.Elapsed / time.Millisecond),
+		APIVersion:     APIVersion,
+		Workload:       s.name,
+		Strategy:       strategy,
+		BudgetPages:    budgetPages,
+		TotalPages:     rec.TotalPages,
+		QueryBenefit:   rec.QueryBenefit,
+		UpdateCost:     rec.UpdateCost,
+		NetBenefit:     rec.NetBenefit,
+		Degraded:       rec.Degraded,
+		DegradedReason: rec.DegradedReason,
+		Candidates:     s.Candidates(),
+		Pipeline:       rec.Gen,
+		Search:         rec.Search,
+		Cache:          rec.Cache,
+		Kernel:         rec.Kernel,
+		Relevance:      rec.Relevance,
+		Evaluations:    int64(rec.Evaluations),
+		ElapsedMS:      int64(rec.Elapsed / time.Millisecond),
 	}
 	for i, c := range rec.Config {
 		resp.Indexes = append(resp.Indexes, Index{

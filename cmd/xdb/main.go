@@ -399,16 +399,31 @@ func (s *shell) cmdEvaluate(rest string) error {
 // relevance-projected atom: how many of the configuration's definitions
 // can serve the query at all, and whether its cost came from the cache.
 // -relevance additionally prints the relevant-candidate count
-// distribution across the workload's queries.
+// distribution across the workload's queries. -faults=<spec> routes
+// the evaluation through a one-off engine whose cost service injects
+// deterministic faults behind the resilience middleware
+// (whatif.ParseFaultSpec syntax) — the interactive window into the
+// retry/breaker behavior the advisor runs with in production.
 func (s *shell) cmdWhatIf(rest string) error {
 	relevance := false
-	if flag, tail, ok := strings.Cut(rest, " "); ok && flag == "-relevance" {
-		relevance = true
-		rest = strings.TrimSpace(tail)
+	faultSpec := ""
+	for {
+		word, tail, ok := strings.Cut(rest, " ")
+		if ok && word == "-relevance" {
+			relevance = true
+			rest = strings.TrimSpace(tail)
+			continue
+		}
+		if ok && strings.HasPrefix(word, "-faults=") {
+			faultSpec = strings.TrimPrefix(word, "-faults=")
+			rest = strings.TrimSpace(tail)
+			continue
+		}
+		break
 	}
 	cfgStr, path, ok := strings.Cut(rest, "::")
 	if !ok {
-		return fmt.Errorf("usage: whatif [-relevance] <pattern>:<type>[,...] :: <workload-file>")
+		return fmt.Errorf("usage: whatif [-relevance] [-faults=<spec>] <pattern>:<type>[,...] :: <workload-file>")
 	}
 	text, err := os.ReadFile(strings.TrimSpace(path))
 	if err != nil {
@@ -461,8 +476,22 @@ func (s *shell) cmdWhatIf(rest string) error {
 			defs = append(defs, catalog.VirtualDef(fmt.Sprintf("V%d_%s", i+1, coll), coll, it.pat, it.ty, st))
 		}
 	}
-	before := s.what.Stats()
-	res, err := s.what.EvaluateConfig(context.Background(), queries, defs)
+	eng := s.what
+	var fsvc *whatif.FaultService
+	var rsvc *whatif.ResilientService
+	if faultSpec != "" {
+		sched, err := whatif.ParseFaultSpec(faultSpec)
+		if err != nil {
+			return err
+		}
+		// A one-off engine so injected faults never poison the shell's
+		// long-lived cache: optimizer → fault injector → resilience.
+		fsvc = whatif.NewFaultService(&whatif.OptimizerService{Opt: s.opt}, sched)
+		rsvc = whatif.NewResilientService(fsvc, whatif.ResilientOptions{})
+		eng = whatif.NewEngine(rsvc, whatif.Options{Workers: s.parallel, MaxEntries: 1 << 16})
+	}
+	before := eng.Stats()
+	res, err := eng.EvaluateConfig(context.Background(), queries, defs)
 	if err != nil {
 		return err
 	}
@@ -481,10 +510,15 @@ func (s *shell) cmdWhatIf(rest string) error {
 			e.Query.ID, qe.CostNoIndexes, qe.Cost, qe.Benefit(),
 			res.Atoms[qi].Relevant, cached, strings.Join(qe.UsedIndexes, ","))
 	}
-	st := s.what.Stats().Sub(before)
+	st := eng.Stats().Sub(before)
 	fmt.Fprintf(s.out, "weighted: no-index %.1f, with-config %.1f (benefit %.1f)\n", noIdx, withIdx, noIdx-withIdx)
 	fmt.Fprintf(s.out, "what-if engine: %d workers, %d evaluations, %d hits (%d projected), %d misses\n",
-		s.what.Workers(), st.Evaluations, st.Hits, st.ProjectedHits, st.Misses)
+		eng.Workers(), st.Evaluations, st.Hits, st.ProjectedHits, st.Misses)
+	if fsvc != nil {
+		rc := st.Resilience
+		fmt.Fprintf(s.out, "fault injection: %d calls, %d faults injected; retries %d, call timeouts %d, breaker trips %d (state: %s)\n",
+			fsvc.Calls(), fsvc.Injected(), rc.Retries, rc.CallTimeouts, rc.BreakerTrips, rsvc.State())
+	}
 	if relevance {
 		counts := make([]int, len(res.Atoms))
 		for i, a := range res.Atoms {

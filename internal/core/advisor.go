@@ -96,6 +96,19 @@ type Options struct {
 	// either way; this is the measured baseline and the differential-
 	// test reference.
 	NoProjection bool
+
+	// Resilience, when non-nil, wraps the cost service in the
+	// whatif.ResilientService middleware (per-call timeouts, bounded
+	// retries with deterministic jitter, circuit breaker) directly
+	// below the memoizing engine — so transient faults the retries
+	// absorb are invisible to searches, and cached atoms keep serving
+	// while the breaker is open.
+	Resilience *whatif.ResilientOptions
+	// CostWrapper, when non-nil, wraps the cost service below the
+	// resilience middleware (Engine → Resilient → CostWrapper(svc)).
+	// It exists for fault injection (whatif.FaultService) in tests,
+	// soaks, and `xiad -faults`, and for backend-specific shims.
+	CostWrapper func(whatif.CostService) whatif.CostService
 }
 
 // DefaultOptions returns the advisor defaults used by the demo tools.
@@ -118,6 +131,9 @@ type Advisor struct {
 	opt  *optimizer.Optimizer
 	cost *whatif.Engine
 	opts Options
+	// resilient is the costing middleware when Options.Resilience is
+	// set; nil otherwise. Its breaker state feeds health reporting.
+	resilient *whatif.ResilientService
 
 	// maintPerEntry is the index-maintenance cost per entry, taken from
 	// the backing cost model (benefit computation must not reach into
@@ -157,6 +173,18 @@ func NewWithService(cat *catalog.Catalog, opts Options, svc whatif.CostService, 
 	case cacheSize < 0:
 		cacheSize = 0 // engine semantics: 0 = unlimited
 	}
+	// Service stack, innermost first: backend → CostWrapper (fault
+	// injection, shims) → ResilientService → Engine. Retries live
+	// below the engine so transient faults never poison a batch, and
+	// the engine's cache keeps serving while the breaker is open.
+	if opts.CostWrapper != nil {
+		svc = opts.CostWrapper(svc)
+	}
+	var resilient *whatif.ResilientService
+	if opts.Resilience != nil {
+		resilient = whatif.NewResilientService(svc, *opts.Resilience)
+		svc = resilient
+	}
 	eng := whatif.NewEngine(svc, whatif.Options{
 		Workers:      opts.Parallelism,
 		Shards:       opts.CacheShards,
@@ -167,8 +195,8 @@ func NewWithService(cat *catalog.Catalog, opts Options, svc whatif.CostService, 
 	if opt != nil {
 		rate = opt.Cost.MaintPerEntry
 	}
-	return &Advisor{cat: cat, opt: opt, cost: eng, opts: opts, maintPerEntry: rate,
-		catVersions: map[string]int64{}}
+	return &Advisor{cat: cat, opt: opt, cost: eng, opts: opts, resilient: resilient,
+		maintPerEntry: rate, catVersions: map[string]int64{}}
 }
 
 // ensureFreshCosts flushes the what-if cache if any collection the
@@ -214,6 +242,11 @@ func (a *Advisor) Optimizer() *optimizer.Optimizer { return a.opt }
 // CostEngine exposes the advisor's what-if evaluation engine (cache and
 // evaluation counters).
 func (a *Advisor) CostEngine() *whatif.Engine { return a.cost }
+
+// Resilient exposes the costing resilience middleware, or nil when
+// Options.Resilience was not set. Health reporting reads its breaker
+// state.
+func (a *Advisor) Resilient() *whatif.ResilientService { return a.resilient }
 
 // QueryAnalysis is the per-query cost comparison of the recommendation
 // analysis screen (paper Figure 5): original cost, cost under the
@@ -285,6 +318,12 @@ type Recommendation struct {
 	Kernel pattern.KernelStats
 	// Elapsed is the advisor runtime.
 	Elapsed time.Duration
+	// Degraded marks a best-so-far recommendation: the what-if backend
+	// became unavailable mid-run (circuit breaker open) and the anytime
+	// contract returned the best fully evaluated configuration instead
+	// of failing. DegradedReason says what gave out.
+	Degraded       bool
+	DegradedReason string
 }
 
 // Recommend runs the full index recommendation pipeline on the workload.

@@ -127,6 +127,25 @@ func (ev *evaluator) evalBatch(ctx context.Context, base, cands []*Candidate) ([
 	return out, nil
 }
 
+// degradedEval is the conservative fallback evaluation for assembling a
+// degraded recommendation when the what-if backend is unavailable
+// (circuit breaker open) and a configuration's atoms are not all
+// cached: every query is priced at its document-scan base cost (no
+// measured improvement), no index usage is claimed, and only the
+// locally computed maintenance cost is charged. For the empty
+// configuration this is exact; otherwise it underclaims, never
+// overclaims.
+func (ev *evaluator) degradedEval(cfg []*Candidate) *configEval {
+	out := &configEval{
+		queryCost: append([]float64(nil), ev.baseCost...),
+		usedBy:    make([][]int, len(ev.baseCost)),
+		UsedSet:   map[int]bool{},
+	}
+	out.UpdateCost = ev.updateCost(cfg)
+	out.Net = -out.UpdateCost
+	return out
+}
+
 // derive turns the engine's per-query costs into the workload-level
 // aggregates (weighted benefit, update cost, candidate usage). No
 // optimizer calls.

@@ -256,13 +256,39 @@ func (p *Prepared) recommend(ctx context.Context, kind SearchKind, budgetPages i
 		TraceEvents: res.Trace,
 		Trace:       res.Trace.Strings(),
 		Search:      res.Stats,
+		Degraded:    res.Degraded,
+	}
+	if res.Degraded {
+		rec.DegradedReason = "what-if cost service unavailable (circuit breaker open); returning the best configuration evaluated before the outage"
 	}
 	sort.Slice(rec.Config, func(i, j int) bool { return rec.Config[i].Key() < rec.Config[j].Key() })
 	rec.TotalPages = search.PagesOf(rec.Config)
 
+	// degradedFallback decides whether an assembly-time evaluation error
+	// may be absorbed into a degraded best-so-far recommendation instead
+	// of failing the run: only a circuit-breaker rejection qualifies, and
+	// only when the search itself already degraded or the caller opted
+	// into the anytime contract. Normally these evaluations are pure
+	// cache hits (the search priced the winning configuration), so this
+	// fires only when the breaker opened with atoms still uncached.
+	degradedFallback := func(err error) bool {
+		return (rec.Degraded || sp.Anytime) && errors.Is(err, whatif.ErrCircuitOpen)
+	}
 	finalEval, err := p.ev.eval(ctx, rec.Config)
 	if err != nil {
-		return nil, err
+		if !degradedFallback(err) {
+			return nil, err
+		}
+		// Per-query detail is unavailable; fall back to document-scan
+		// costs, but keep the search's own pricing of this configuration
+		// for the workload aggregates — that is the best-so-far claim the
+		// degraded response carries.
+		finalEval = p.ev.degradedEval(rec.Config)
+		finalEval.QueryBenefit = res.Eval.QueryBenefit
+		finalEval.UpdateCost = res.Eval.UpdateCost
+		finalEval.Net = res.Eval.Net
+		rec.Degraded = true
+		rec.DegradedReason = "what-if cost service unavailable (circuit breaker open); per-query costs report the no-index baseline"
 	}
 	rec.QueryBenefit = finalEval.QueryBenefit
 	rec.UpdateCost = finalEval.UpdateCost
@@ -272,7 +298,11 @@ func (p *Prepared) recommend(ctx context.Context, kind SearchKind, budgetPages i
 	// budget — the maximum achievable benefit for this workload.
 	overEval, err := p.ev.eval(ctx, p.set.Basics)
 	if err != nil {
-		return nil, err
+		if !degradedFallback(err) {
+			return nil, err
+		}
+		overEval = p.ev.degradedEval(p.set.Basics)
+		rec.Degraded = true
 	}
 	// Public names: XIA_IDX<i> in config order, used consistently in the
 	// DDL and the per-query analysis.

@@ -25,6 +25,9 @@ func (g greedyBasic) Search(ctx context.Context, sp *Space) (*Result, error) {
 	tr := newTracer(g.Name(), sp)
 	alone, err := standalone(ctx, tr.ev, sp.Candidates)
 	if err != nil {
+		if sp.degradable(err) {
+			return degrade(sp, tr, nil, nil, err), nil
+		}
 		return nil, err
 	}
 	order := rankByDensity(sp.Candidates, alone)
@@ -43,7 +46,7 @@ func (g greedyBasic) Search(ctx context.Context, sp *Space) (*Result, error) {
 		tr.round++
 		tr.emit(TraceEvent{Action: ActionAdd, Candidate: c.Key(), Benefit: alone[c.ID].Net, Pages: pages})
 	}
-	return finish(ctx, sp, tr, config)
+	return finish(ctx, sp, tr, config, nil)
 }
 
 // greedyHeuristic is the paper's greedy search with heuristics:
@@ -76,6 +79,9 @@ func (g greedyHeuristic) Search(ctx context.Context, sp *Space) (*Result, error)
 	// without it would be quadratic in optimizer calls.
 	alone, err := standalone(ctx, tr.ev, sp.Candidates)
 	if err != nil {
+		if sp.degradable(err) {
+			return degrade(sp, tr, nil, nil, err), nil
+		}
 		return nil, err
 	}
 	var positive []*Candidate
@@ -109,6 +115,9 @@ func (g greedyHeuristic) eager(ctx context.Context, sp *Space, tr *tracer,
 
 	curEval, err := tr.ev.Evaluate(ctx, nil)
 	if err != nil {
+		if sp.degradable(err) {
+			return degrade(sp, tr, nil, nil, err), nil
+		}
 		return nil, err
 	}
 	for {
@@ -161,6 +170,9 @@ func (g greedyHeuristic) eager(ctx context.Context, sp *Space, tr *tracer,
 				batch := elig[start:end]
 				evals, err := evalEach(ctx, tr.ev, config, batch)
 				if err != nil {
+					if sp.degradable(err) {
+						return degrade(sp, tr, config, curEval, err), nil
+					}
 					return nil, err
 				}
 				for i, c := range batch {
@@ -189,6 +201,11 @@ func (g greedyHeuristic) eager(ctx context.Context, sp *Space, tr *tracer,
 		if bestEval == nil {
 			bestEval, err = tr.ev.Evaluate(ctx, config)
 			if err != nil {
+				if sp.degradable(err) {
+					// The newest member was never evaluated; degrade to
+					// the configuration the last evaluation priced.
+					return degrade(sp, tr, config[:len(config)-1], curEval, err), nil
+				}
 				return nil, err
 			}
 		}
@@ -210,6 +227,11 @@ func (g greedyHeuristic) eager(ctx context.Context, sp *Space, tr *tracer,
 			config = pruned
 			curEval, err = tr.ev.Evaluate(ctx, config)
 			if err != nil {
+				if sp.degradable(err) {
+					// Reclaimed members were unused, so the pre-prune
+					// evaluation still prices this configuration.
+					return degrade(sp, tr, config, bestEval, err), nil
+				}
 				return nil, err
 			}
 			covered = candidate.NewBitset(width)
@@ -226,7 +248,7 @@ func (g greedyHeuristic) eager(ctx context.Context, sp *Space, tr *tracer,
 		}
 		remaining = rest
 	}
-	return finish(ctx, sp, tr, config)
+	return finish(ctx, sp, tr, config, curEval)
 }
 
 // greedyUpperBound is a greedy member's optimistic remaining net: the

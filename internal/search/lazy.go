@@ -84,6 +84,9 @@ func (g greedyHeuristic) lazy(ctx context.Context, sp *Space, tr *tracer,
 
 	curEval, err := tr.ev.Evaluate(ctx, nil)
 	if err != nil {
+		if sp.degradable(err) {
+			return degrade(sp, tr, nil, nil, err), nil
+		}
 		return nil, err
 	}
 	// Round 1 keys are exact, not just bounds: against the empty
@@ -151,6 +154,9 @@ func (g greedyHeuristic) lazy(ctx context.Context, sp *Space, tr *tracer,
 			}
 			evals, err := evalEach(ctx, tr.ev, config, cands)
 			if err != nil {
+				if sp.degradable(err) {
+					return degrade(sp, tr, config, curEval, err), nil
+				}
 				return nil, err
 			}
 			for i, it := range batch {
@@ -190,6 +196,11 @@ func (g greedyHeuristic) lazy(ctx context.Context, sp *Space, tr *tracer,
 			config = pruned
 			curEval, err = tr.ev.Evaluate(ctx, config)
 			if err != nil {
+				if sp.degradable(err) {
+					// Reclaimed members were unused, so the selection's
+					// evaluation still prices this configuration.
+					return degrade(sp, tr, config, selected.eval, err), nil
+				}
 				return nil, err
 			}
 			covered = candidate.NewBitset(width)
@@ -208,5 +219,5 @@ func (g greedyHeuristic) lazy(ctx context.Context, sp *Space, tr *tracer,
 		}
 		round++
 	}
-	return finish(ctx, sp, tr, config)
+	return finish(ctx, sp, tr, config, curEval)
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/whatif"
 )
 
 func init() {
@@ -64,10 +66,18 @@ func (r race) Search(ctx context.Context, sp *Space) (*Result, error) {
 			return nil, err
 		}
 		wg.Add(1)
-		go func(i int, strat Strategy) {
+		go func(i int, name string, strat Strategy) {
 			defer wg.Done()
+			// A panicking member (a buggy external strategy, a panic
+			// escaping a cost backend) is contained to its goroutine and
+			// surfaces as a typed member error, not a dead process.
+			defer func() {
+				if r := recover(); r != nil {
+					results[i], errs[i] = nil, whatif.NewPanicError("search: race member "+name, r)
+				}
+			}()
 			results[i], errs[i] = strat.Search(ctx, spRun)
-		}(i, strat)
+		}(i, name, strat)
 	}
 	wg.Wait()
 
@@ -103,7 +113,7 @@ func (r race) Search(ctx context.Context, sp *Space) (*Result, error) {
 			return nil, fmt.Errorf("search: race member %s: %w", name, errs[i])
 		}
 	}
-	var winner *Result
+	var winner, degradedBest *Result
 	for i, name := range members {
 		res := results[i]
 		if res == nil {
@@ -111,15 +121,30 @@ func (r race) Search(ctx context.Context, sp *Space) (*Result, error) {
 		}
 		tr.round++
 		note := fmt.Sprintf("%s: %d indexes in %v", name, len(res.Config), res.Stats.Elapsed.Round(time.Millisecond))
-		if res.Aborted {
+		switch {
+		case res.Aborted:
 			note = fmt.Sprintf("%s: aborted (cost bound) in %v", name, res.Stats.Elapsed.Round(time.Millisecond))
+		case res.Degraded:
+			note = fmt.Sprintf("%s: degraded (best-so-far) in %v", name, res.Stats.Elapsed.Round(time.Millisecond))
 		}
 		tr.emit(TraceEvent{Action: ActionMember, Benefit: res.Eval.Net, Pages: res.Pages, Note: note})
 		// Aborted members stopped with a partial configuration; only
-		// members that finished compete for the win.
-		if !res.Aborted && better(res, winner) {
+		// members that finished compete for the win. Degraded members
+		// compete among themselves as the fallback tier: a fully
+		// evaluated result always beats a best-so-far one, whatever the
+		// nets claim.
+		switch {
+		case res.Aborted:
+		case res.Degraded:
+			if better(res, degradedBest) {
+				degradedBest = res
+			}
+		case better(res, winner):
 			winner = res
 		}
+	}
+	if winner == nil {
+		winner = degradedBest
 	}
 	if winner == nil {
 		// Unreachable in practice: greedy-basic never aborts, so a
@@ -130,10 +155,14 @@ func (r race) Search(ctx context.Context, sp *Space) (*Result, error) {
 	if expired != nil {
 		pickNote = fmt.Sprintf("%s (deadline: %d/%d members finished)", winner.Strategy, finished, len(members))
 	}
+	if winner.Degraded {
+		pickNote += " (degraded: every member returned best-so-far)"
+	}
 	tr.emit(TraceEvent{Action: ActionPick, Benefit: winner.Eval.Net, Pages: winner.Pages, Note: pickNote})
 
 	stats := tr.stats()
 	stats.Winner = winner.Strategy
+	stats.Degraded = winner.Degraded
 	// Report the winner's search rounds, not the member count the
 	// tracer accumulated: in side-by-side tables the race row's
 	// "rounds" must be comparable to the plain strategies'.
@@ -166,6 +195,7 @@ func (r race) Search(ctx context.Context, sp *Space) (*Result, error) {
 		Trace:    trace,
 		Stats:    stats,
 		Members:  memberResults,
+		Degraded: winner.Degraded,
 	}, nil
 }
 

@@ -19,6 +19,7 @@ package search
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -232,6 +233,12 @@ type Result struct {
 	// Config/Eval are whatever the member had when it stopped, and the
 	// race never picks an aborted member as winner.
 	Aborted bool
+	// Degraded marks a best-so-far result returned because the what-if
+	// backend became unavailable mid-search (circuit breaker open)
+	// while Space.Anytime allowed partial results. Config is whatever
+	// the strategy had fully built when the backend went away; Eval is
+	// its last complete evaluation (possibly the empty configuration's).
+	Degraded bool
 }
 
 // Strategy is one pluggable configuration-search algorithm.
@@ -404,11 +411,50 @@ func standalone(ctx context.Context, ev Evaluator, cands []*Candidate) (map[int]
 	return out, nil
 }
 
+// degradable reports whether a search may answer err with a degraded
+// best-so-far result instead of failing: the caller opted into partial
+// results (Anytime) and the error is the circuit breaker cutting the
+// what-if backend off — a transient infrastructure condition, not a
+// wrong answer.
+func (s *Space) degradable(err error) bool {
+	return s.Anytime && errors.Is(err, whatif.ErrCircuitOpen)
+}
+
+// degrade assembles a best-so-far Result after the what-if backend
+// became unavailable mid-search: the configuration the strategy had
+// fully built, its last complete evaluation (nil means the empty
+// configuration's zero evaluation), and the Degraded flag that flows
+// through the race winner pick up into the v1 response.
+func degrade(sp *Space, tr *tracer, config []*Candidate, cur *Eval, cause error) *Result {
+	if cur == nil {
+		cur = &Eval{}
+	}
+	tr.degraded = true
+	tr.emit(TraceEvent{Action: ActionDegraded, Benefit: cur.Net, Pages: PagesOf(config),
+		Note: fmt.Sprintf("best-so-far: %v", cause)})
+	return &Result{
+		Strategy: tr.strategy,
+		Config:   config,
+		Pages:    PagesOf(config),
+		Eval:     cur,
+		Trace:    tr.events,
+		Stats:    tr.stats(),
+		Degraded: true,
+	}
+}
+
 // finish evaluates the final configuration and assembles the Result,
 // publishing the final net to the race leader board when one is wired.
-func finish(ctx context.Context, sp *Space, tr *tracer, config []*Candidate) (*Result, error) {
+// fallback is the last complete evaluation the strategy holds (nil when
+// it has none): if the final evaluation itself hits an open circuit
+// breaker under the anytime contract, the result degrades to it rather
+// than failing a fully built configuration at the finish line.
+func finish(ctx context.Context, sp *Space, tr *tracer, config []*Candidate, fallback *Eval) (*Result, error) {
 	final, err := tr.ev.Evaluate(ctx, config)
 	if err != nil {
+		if sp.degradable(err) {
+			return degrade(sp, tr, config, fallback, err), nil
+		}
 		return nil, err
 	}
 	if sp.leader != nil {

@@ -26,6 +26,9 @@ func (t topDown) Search(ctx context.Context, sp *Space) (*Result, error) {
 	tr := newTracer(t.Name(), sp)
 	alone, err := standalone(ctx, tr.ev, sp.DAG.Nodes)
 	if err != nil {
+		if sp.degradable(err) {
+			return degrade(sp, tr, nil, nil, err), nil
+		}
 		return nil, err
 	}
 	// Start configuration: all roots with positive standalone benefit.
@@ -89,11 +92,19 @@ func (t topDown) Search(ctx context.Context, sp *Space) (*Result, error) {
 	// The children sum can still exceed the victim's size; the Fits
 	// loop handles that by further descents. Finally drop any members
 	// the optimizer does not use.
+	var lastEval *Eval
 	if len(config) > 0 {
 		full, err := tr.ev.Evaluate(ctx, config)
 		if err != nil {
+			if sp.degradable(err) {
+				// The descent itself never priced the configuration;
+				// degrade to it with the zero evaluation rather than
+				// overclaiming a benefit nothing measured.
+				return degrade(sp, tr, config, nil, err), nil
+			}
 			return nil, err
 		}
+		lastEval = full
 		kept := config[:0:0]
 		for _, c := range config {
 			if full.Used[c.ID] {
@@ -104,5 +115,5 @@ func (t topDown) Search(ctx context.Context, sp *Space) (*Result, error) {
 		}
 		config = kept
 	}
-	return finish(ctx, sp, tr, config)
+	return finish(ctx, sp, tr, config, lastEval)
 }

@@ -41,6 +41,10 @@ const (
 	// event, and Stats.Truncated counts the events dropped after it.
 	// Streaming observers still receive every event.
 	ActionTruncated Action = "truncated"
+	// ActionDegraded records a search falling back to its best-so-far
+	// configuration because the what-if backend became unavailable
+	// mid-run (circuit breaker open) under the anytime contract.
+	ActionDegraded Action = "degraded"
 )
 
 // TraceEvent is one structured search step: which round, what happened,
@@ -149,9 +153,14 @@ type Stats struct {
 	// Aborted marks a portfolio member that stopped early under
 	// cost-bounded racing because its remaining upper bound could not
 	// beat the leader; aborted members never win the race.
-	Aborted bool    `json:"aborted,omitempty"`
-	Winner  string  `json:"winner,omitempty"`
-	Members []Stats `json:"members,omitempty"`
+	Aborted bool `json:"aborted,omitempty"`
+	// Degraded marks a run that fell back to its best-so-far
+	// configuration because the what-if backend became unavailable
+	// (circuit breaker open) while Space.Anytime allowed partial
+	// results.
+	Degraded bool    `json:"degraded,omitempty"`
+	Winner   string  `json:"winner,omitempty"`
+	Members  []Stats `json:"members,omitempty"`
 }
 
 // String renders the stats as one line.
@@ -161,6 +170,9 @@ func (s Stats) String() string {
 		s.Strategy, s.Rounds, s.Evals, s.Elapsed.Round(time.Millisecond), s.Cache.Hits, s.Cache.Misses, s.Cache.Evaluations)
 	if s.Aborted {
 		sb.WriteString("; aborted (cost bound)")
+	}
+	if s.Degraded {
+		sb.WriteString("; degraded (cost service unavailable)")
 	}
 	if s.Winner != "" {
 		fmt.Fprintf(&sb, "; winner %s", s.Winner)
@@ -192,6 +204,7 @@ type tracer struct {
 	cap       int
 	truncated int
 	aborted   bool
+	degraded  bool
 	events    Trace
 }
 
@@ -242,5 +255,6 @@ func (t *tracer) stats() Stats {
 		Evals:     t.ev.calls.Load(),
 		Truncated: t.truncated,
 		Aborted:   t.aborted,
+		Degraded:  t.degraded,
 	}
 }

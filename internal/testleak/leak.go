@@ -1,0 +1,68 @@
+// Package testleak is a tiny goroutine-leak check for tests: snapshot
+// the interesting goroutines when the test starts, and fail at cleanup
+// if new ones are still alive after a grace period. "Interesting" means
+// goroutines running this module's code — runtime, net/http transport
+// and testing-harness goroutines are ignored, so the check composes
+// with httptest servers and parallel tests.
+package testleak
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// modulePrefix identifies this module's frames in goroutine stacks.
+const modulePrefix = "repro/"
+
+// interesting returns the stacks of goroutines currently executing
+// module code, excluding test-runner goroutines (which execute the test
+// function itself) and this package.
+func interesting() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	for n == len(buf) {
+		buf = make([]byte, 2*len(buf))
+		n = runtime.Stack(buf, true)
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if !strings.Contains(g, modulePrefix) {
+			continue
+		}
+		if strings.Contains(g, "testing.tRunner") || strings.Contains(g, "testleak.") {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Check arms the leak check for the test: it snapshots the interesting
+// goroutine count now and registers a cleanup that fails the test if
+// more are still running at the end. Shutdown is asynchronous almost
+// everywhere (closed connections, cancelled contexts), so the cleanup
+// retries for up to five seconds before calling a goroutine leaked.
+// Call it first in the test so the cleanup runs after the test's own
+// cleanups (server close, context cancel) have finished.
+func Check(t testing.TB) {
+	t.Helper()
+	before := len(interesting())
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var leaked []string
+		for {
+			leaked = interesting()
+			if len(leaked) <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("testleak: %d goroutine(s) leaked (started with %d):\n\n%s",
+			len(leaked)-before, before, strings.Join(leaked, "\n\n"))
+	})
+}

@@ -53,6 +53,11 @@ type Stats struct {
 	// lookup; RelevantDefs / (Hits + Misses) is the mean relevance-set
 	// size the engine actually costed against.
 	RelevantDefs int64 `json:"relevantDefs"`
+	// Resilience aggregates the middleware's retry/breaker/timeout/
+	// panic counters (when the engine's CostService keeps them) plus
+	// panics the engine itself recovered; zero-valued when the service
+	// stack has no resilience layer and nothing panicked.
+	Resilience ResilienceStats `json:"resilience,omitzero"`
 }
 
 // HitRate is hits / (hits + misses), or 0 when nothing was looked up.
@@ -80,6 +85,13 @@ func (s Stats) Sub(earlier Stats) Stats {
 		Evaluations:   s.Evaluations - earlier.Evaluations,
 		ProjectedHits: s.ProjectedHits - earlier.ProjectedHits,
 		RelevantDefs:  s.RelevantDefs - earlier.RelevantDefs,
+		Resilience: ResilienceStats{
+			Retries:         s.Resilience.Retries - earlier.Resilience.Retries,
+			BreakerTrips:    s.Resilience.BreakerTrips - earlier.Resilience.BreakerTrips,
+			BreakerRejects:  s.Resilience.BreakerRejects - earlier.Resilience.BreakerRejects,
+			CallTimeouts:    s.Resilience.CallTimeouts - earlier.Resilience.CallTimeouts,
+			PanicsRecovered: s.Resilience.PanicsRecovered - earlier.Resilience.PanicsRecovered,
+		},
 	}
 }
 
@@ -147,6 +159,7 @@ type Engine struct {
 	maxPerShard int
 
 	hits, misses, evals, projHits, relDefs atomic.Int64
+	panics                                 atomic.Int64 // recovered in callService
 }
 
 // NewEngine wraps the service in a concurrent memoizing engine.
@@ -188,15 +201,36 @@ func NewEngine(svc CostService, o Options) *Engine {
 // Workers returns the engine's evaluation parallelism.
 func (e *Engine) Workers() int { return e.workers }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters, merged with the
+// resilience counters of the underlying service stack (when it keeps
+// any) and the engine's own recovered-panic count.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Hits:          e.hits.Load(),
 		Misses:        e.misses.Load(),
 		Evaluations:   e.evals.Load(),
 		ProjectedHits: e.projHits.Load(),
 		RelevantDefs:  e.relDefs.Load(),
 	}
+	if src, ok := e.svc.(ResilienceSource); ok {
+		s.Resilience = src.ResilienceCounters()
+	}
+	s.Resilience.PanicsRecovered += e.panics.Load()
+	return s
+}
+
+// callService is the engine's single CostService call site: a panic in
+// the backend (or any middleware above it) is recovered into a typed
+// PanicError instead of killing the worker goroutine — and with it the
+// whole process.
+func (e *Engine) callService(ctx context.Context, q *querylang.Query, svcCfg []*catalog.IndexDef) (ev QueryEval, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Add(1)
+			err = NewPanicError("whatif: engine CostService call", r)
+		}
+	}()
+	return e.svc.EvaluateQuery(ctx, q, svcCfg)
 }
 
 // ConfigKey is the canonical, order-insensitive cache key of a
@@ -463,7 +497,7 @@ func (e *Engine) evaluateBatch(ctx context.Context, atoms []atomPlan, configs []
 					}
 					o := own[i]
 					e.evals.Add(1)
-					ev, err := e.svc.EvaluateQuery(bctx, atoms[o.qi].q, o.svcCfg)
+					ev, err := e.callService(bctx, atoms[o.qi].q, o.svcCfg)
 					if err != nil {
 						fail(o, err)
 						return
@@ -611,7 +645,7 @@ func (e *Engine) evalOne(ctx context.Context, q *querylang.Query, svcCfg []*cata
 		return QueryEval{}, err
 	}
 	e.evals.Add(1)
-	return e.svc.EvaluateQuery(ctx, q, svcCfg)
+	return e.callService(ctx, q, svcCfg)
 }
 
 // filterConfig restricts the configuration to one collection's indexes
