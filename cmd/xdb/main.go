@@ -623,6 +623,9 @@ func (s *shell) cmdSearch(rest string) error {
 		if resp.Search.Winner != "" {
 			note = "winner " + resp.Search.Winner
 		}
+		if lps := resp.Search.LP; lps != nil {
+			note = fmt.Sprintf("lp objective %.1f, bound %.1f, %d passes", lps.Objective, lps.Bound, lps.Passes)
+		}
 		s.searchTableRow(name, len(resp.Indexes), resp.TotalPages, resp.NetBenefit, resp.Search.Rounds,
 			resp.Search.Elapsed, resp.Search.Evals, resp.Cache.Hits, note)
 	}
@@ -647,28 +650,43 @@ func (s *shell) cmdSearch(rest string) error {
 }
 
 // cmdSearchSynthetic drives the deterministic synthetic candidate-space
-// generator ("search -synthetic n=N [budget-pages]"): no documents, no
-// optimizer — just the search layer at scale, with the eager baseline
-// and the cost-bounded race alongside the registered strategies.
+// generator ("search -synthetic n=N [seed=S] [budget-pages]"): no
+// documents, no optimizer — just the search layer at scale, with the
+// eager baseline and the cost-bounded race alongside the registered
+// strategies. The generator seed defaults to 42 (the benchmark spaces)
+// and is always echoed, so any printed table can be reproduced.
 func (s *shell) cmdSearchSynthetic(fields []string) error {
-	if len(fields) < 1 || len(fields) > 2 {
-		return fmt.Errorf("usage: search -synthetic n=N [budget-pages]")
+	usage := fmt.Errorf("usage: search -synthetic n=N [seed=S] [budget-pages]")
+	if len(fields) < 1 {
+		return usage
 	}
 	spec := strings.TrimPrefix(fields[0], "n=")
 	n, err := strconv.Atoi(spec)
 	if err != nil || n < 1 {
 		return fmt.Errorf("bad candidate count %q: want n=N", fields[0])
 	}
-	sp := search.NewSyntheticSpace(n, 42)
-	if len(fields) == 2 {
-		budget, err := strconv.ParseInt(fields[1], 10, 64)
+	seed := uint64(42)
+	rest := fields[1:]
+	if len(rest) > 0 && strings.HasPrefix(rest[0], "seed=") {
+		seed, err = strconv.ParseUint(strings.TrimPrefix(rest[0], "seed="), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q: want seed=S", rest[0])
+		}
+		rest = rest[1:]
+	}
+	if len(rest) > 1 {
+		return usage
+	}
+	sp := search.NewSyntheticSpace(n, seed)
+	if len(rest) == 1 {
+		budget, err := strconv.ParseInt(rest[0], 10, 64)
 		if err != nil {
 			return fmt.Errorf("bad budget: %v", err)
 		}
 		sp = sp.WithBudget(budget)
 	}
-	fmt.Fprintf(s.out, "synthetic space: %d candidates (%d DAG roots), budget %d pages, seed 42\n",
-		len(sp.Candidates), len(sp.DAG.Roots), sp.BudgetPages)
+	fmt.Fprintf(s.out, "synthetic space: %d candidates (%d DAG roots), budget %d pages, seed %d\n",
+		len(sp.Candidates), len(sp.DAG.Roots), sp.BudgetPages, seed)
 	ctx := context.Background()
 	run := func(name string, tune func(*search.Space), note string) error {
 		stratName := name
@@ -697,6 +715,9 @@ func (s *shell) cmdSearchSynthetic(fields []string) error {
 					note += ", " + m.Strategy + " aborted"
 				}
 			}
+		}
+		if lps := res.Stats.LP; lps != nil {
+			note = fmt.Sprintf("lp objective %.1f, bound %.1f, %d passes", lps.Objective, lps.Bound, lps.Passes)
 		}
 		s.searchTableRow(name, len(res.Config), res.Pages, res.Eval.Net, res.Stats.Rounds,
 			res.Stats.Elapsed, res.Stats.Evals, res.Stats.Cache.Hits, note)

@@ -79,6 +79,14 @@ type Options struct {
 	// the search layer's default, negative means unlimited. Truncation
 	// is recorded in the search stats.
 	TraceCap int
+	// LPMaxPasses caps the lp strategy's dual coordinate-descent
+	// passes; 0 means the solver default. The dual value is a valid
+	// upper bound at every pass, so a lower cap trades bound tightness
+	// (and rounding quality) for solve time, never correctness.
+	LPMaxPasses int
+	// LPRepairRounds caps the lp strategy's what-if repair rounds after
+	// rounding; 0 means the default, negative disables repair entirely.
+	LPRepairRounds int
 
 	// Parallelism bounds concurrent what-if query evaluations in the
 	// costing engine; 0 means GOMAXPROCS.

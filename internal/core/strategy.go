@@ -120,6 +120,8 @@ func (a *Advisor) Prepare(ctx context.Context, w *workload.Workload) (*Prepared,
 		EagerGreedy:      a.opts.EagerGreedy,
 		RaceCostBound:    a.opts.RaceCostBound,
 		TraceCap:         a.opts.TraceCap,
+		LPMaxPasses:      a.opts.LPMaxPasses,
+		LPRepairRounds:   a.opts.LPRepairRounds,
 		Counters: func() search.Counters {
 			s := a.cost.Stats()
 			return search.Counters{Hits: s.Hits, Misses: s.Misses, Evaluations: s.Evaluations}
@@ -148,21 +150,25 @@ func (p *Prepared) RelevanceStats() whatif.RelevanceStats { return p.relevance }
 // BenefitMatrix returns the standalone per-(query, candidate) benefit
 // matrix over the prepared space, rows aligned with Space().Candidates:
 // entry (q, c) is the query's weighted cost reduction when candidate c
-// is installed alone. Built once on first call — one standalone what-if
-// evaluation per candidate, batched through the engine (atoms already
-// cached by a prior search are free) — and memoized; row sums equal the
-// standalone QueryBenefit the search evaluator reports, which the
-// cross-check test pins. This is the decomposed benefit model the
-// CoPhy-style LP strategy seam (search.Space.Benefits) exposes.
+// is installed alone, and Update is the candidate's modular maintenance
+// cost (no optimizer calls — the update model is local). Built once on
+// first call — one standalone what-if evaluation per candidate, batched
+// through the engine (atoms already cached by a prior search are free)
+// — and memoized; row sums equal the standalone QueryBenefit the search
+// evaluator reports, which the cross-check test pins. This is the
+// decomposed benefit model the CoPhy-style LP strategy seam
+// (search.Space.Benefits) exposes.
 func (p *Prepared) BenefitMatrix(ctx context.Context) (*whatif.BenefitMatrix, error) {
 	p.benefitOnce.Do(func() {
 		m := &whatif.BenefitMatrix{
 			NumQueries: len(p.w.Queries),
 			Rows:       make([][]whatif.BenefitEntry, len(p.set.All)),
+			Update:     make([]float64, len(p.set.All)),
 		}
 		configs := make([][]*catalog.IndexDef, len(p.set.All))
 		for i, c := range p.set.All {
 			configs[i] = []*catalog.IndexDef{c.Def}
+			m.Update[i] = p.ev.updateCost([]*Candidate{c})
 		}
 		results, err := p.ev.bound.EvaluateConfigBatch(ctx, configs)
 		if err != nil {

@@ -237,6 +237,7 @@ func E14StrategyPortfolio(env *Env) (string, error) {
 		}{
 			{"greedy-heuristic", "greedy-heuristic", nil},
 			{"greedy-eager", "greedy-heuristic", func(v *search.Space) { v.EagerGreedy = true }},
+			{"lp", "lp", nil},
 			{"race", "race", nil},
 			{"race-bounded", "race", func(v *search.Space) { v.RaceCostBound = true }},
 		} {

@@ -1,0 +1,430 @@
+// Package lp is a small pure-Go solver for the fractional
+// index-selection relaxation (the CoPhy-style LP): given per-(query,
+// candidate) benefit coefficients, per-candidate modular net weights,
+// sizes, a disk budget, and at-most-one side constraints over
+// containment chains, it computes a fractional installation vector and
+// a certified upper bound on every feasible configuration's surrogate
+// net benefit.
+//
+// The LP, with x_c the installed fraction of candidate c and y_qc the
+// fraction of query q served by c:
+//
+//	max  Σ_c w_c·x_c + Σ_(q,c) b_qc·y_qc
+//	s.t. y_qc ≤ x_c                 (serving needs the index)
+//	     Σ_c y_qc ≤ 1    per query  (a query is served once)
+//	     Σ_c s_c·x_c ≤ B            (disk budget, when B > 0)
+//	     Σ_{c∈G} x_c ≤ 1 per group  (containment-chain redundancy)
+//	     0 ≤ x, y ≤ 1
+//
+// The solver works on the dual by exact coordinate descent: each
+// query price β_q, chain rent γ_G, and the budget price λ minimize a
+// one-dimensional piecewise-linear convex function whose breakpoints
+// are scanned exactly (a "second price" per query and per chain, a
+// density threshold for λ). Every iterate is dual feasible, so
+//
+//	D(β, λ, γ) = Σ_q β_q + λ·B + Σ_G γ_G + Σ_c (R_c)₊
+//
+// with reduced profit R_c = w_c + Σ_q (b_qc − β_q)₊ − λ·s_c − Σ_{G∋c} γ_G
+// is a valid upper bound at any pass count — an early stop only
+// loosens the bound, never invalidates it. Descent is deterministic
+// (fixed coordinate order, exact breakpoint scans, no randomization),
+// so identical problems produce identical solutions.
+package lp
+
+import "sort"
+
+// Entry is one (query, benefit) coefficient of an item's sparse
+// benefit row.
+type Entry struct {
+	// Query is the query index in [0, NumQueries).
+	Query int32
+	// Benefit is the non-negative benefit of serving the query with
+	// this item.
+	Benefit float64
+}
+
+// Problem is one fractional index-selection instance. Items are dense
+// 0..NumItems-1; callers choose the item order (the solver breaks
+// exact ties toward lower indices, so a content-canonical order makes
+// solutions independent of input permutation).
+type Problem struct {
+	// NumItems is the candidate count.
+	NumItems int
+	// NumQueries is the query count (the column space of Rows).
+	NumQueries int
+	// Weight is the per-item modular net weight w_c (private benefit
+	// minus update cost); may be negative.
+	Weight []float64
+	// Size is the per-item size in pages; non-positive sizes count as
+	// one page.
+	Size []int64
+	// Budget is the page budget B; 0 or negative means unlimited.
+	Budget int64
+	// Rows is the sparse benefit row of each item, sorted by query.
+	Rows [][]Entry
+	// Groups are the at-most-one side constraints: each group lists
+	// item indices of one containment chain (Σ x ≤ 1).
+	Groups [][]int32
+}
+
+// Options tune the solver. The zero value selects defaults.
+type Options struct {
+	// MaxPasses caps full coordinate-descent passes (0 = default 48).
+	MaxPasses int
+	// Tol is the relative dual-improvement convergence threshold
+	// (0 = default 1e-7).
+	Tol float64
+}
+
+// DefaultMaxPasses is the pass cap used when Options.MaxPasses is 0.
+const DefaultMaxPasses = 48
+
+const defaultTol = 1e-7
+
+// Solution is one solve: the fractional installation vector, its
+// primal objective value, and the dual upper bound.
+type Solution struct {
+	// X is the fractional installation per item, in [0, 1].
+	X []float64
+	// Objective is the primal value of X (a lower bound on the LP
+	// optimum).
+	Objective float64
+	// Bound is the dual objective at the final iterate: a certified
+	// upper bound on the LP optimum, and therefore on the surrogate
+	// net benefit of every feasible integral configuration.
+	Bound float64
+	// Passes is the number of coordinate-descent passes performed.
+	Passes int
+	// Converged reports whether the dual improvement fell below the
+	// tolerance before the pass cap.
+	Converged bool
+	// Lambda is the final budget price (0 when the budget is slack or
+	// unlimited).
+	Lambda float64
+	// Reduced is the final reduced profit R_c per item: the dual
+	// surplus an item retains after paying its query, budget, and
+	// chain prices. Positive entries are the LP's support.
+	Reduced []float64
+}
+
+// qItem is one incidence-list entry: an item serving a query, with
+// its benefit coefficient.
+type qItem struct {
+	item int32
+	b    float64
+}
+
+// Solve runs deterministic dual coordinate descent and extracts a
+// budget- and group-feasible fractional primal from the final reduced
+// profits. A nil problem or one with no items yields an empty
+// solution with a zero bound, so callers need no special cases.
+func Solve(p *Problem, o Options) *Solution {
+	if p == nil || p.NumItems == 0 {
+		return &Solution{Converged: true}
+	}
+	maxPasses := o.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = DefaultMaxPasses
+	}
+	tol := o.Tol
+	if tol <= 0 {
+		tol = defaultTol
+	}
+
+	n := p.NumItems
+	size := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := int64(1)
+		if i < len(p.Size) && p.Size[i] > 0 {
+			s = p.Size[i]
+		}
+		size[i] = float64(s)
+	}
+	weight := func(i int) float64 {
+		if i < len(p.Weight) {
+			return p.Weight[i]
+		}
+		return 0
+	}
+
+	// Incidence lists: per query, the items serving it. Built in item
+	// order, so every per-query scan is deterministic.
+	byQuery := make([][]qItem, p.NumQueries)
+	for i := 0; i < n && i < len(p.Rows); i++ {
+		for _, e := range p.Rows[i] {
+			if e.Benefit <= 0 || e.Query < 0 || int(e.Query) >= p.NumQueries {
+				continue
+			}
+			byQuery[e.Query] = append(byQuery[e.Query], qItem{item: int32(i), b: e.Benefit})
+		}
+	}
+
+	// Initial dual point: all prices zero, so R_c is the item's full
+	// standalone surrogate net. The first pass immediately reprices.
+	r := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r[i] = weight(i)
+		if i < len(p.Rows) {
+			for _, e := range p.Rows[i] {
+				if e.Benefit > 0 {
+					r[i] += e.Benefit
+				}
+			}
+		}
+	}
+	beta := make([]float64, p.NumQueries)
+	gamma := make([]float64, len(p.Groups))
+	lambda := 0.0
+	budget := float64(p.Budget)
+
+	dual := func() float64 {
+		d := 0.0
+		if p.Budget > 0 {
+			d += lambda * budget
+		}
+		for _, b := range beta {
+			d += b
+		}
+		for _, g := range gamma {
+			d += g
+		}
+		for _, rc := range r {
+			if rc > 0 {
+				d += rc
+			}
+		}
+		return d
+	}
+
+	type density struct{ d, s float64 }
+	var scratch []density
+
+	sol := &Solution{}
+	prev := dual()
+	for pass := 1; pass <= maxPasses; pass++ {
+		sol.Passes = pass
+		// Query prices: the exact coordinate minimum is the second
+		// largest positive u_c = b_qc + min(R_c − (b_qc − β_q)₊, 0) —
+		// a second-price auction where each item bids the benefit it
+		// can actually back with surplus from its other queries.
+		for q, items := range byQuery {
+			if len(items) == 0 {
+				continue
+			}
+			old := beta[q]
+			var u1, u2 float64
+			for _, e := range items {
+				cur := e.b - old
+				if cur < 0 {
+					cur = 0
+				}
+				u := e.b
+				if k := r[e.item] - cur; k < 0 {
+					u += k
+				}
+				if u > u1 {
+					u1, u2 = u, u1
+				} else if u > u2 {
+					u2 = u
+				}
+			}
+			if u2 != old {
+				beta[q] = u2
+				for _, e := range items {
+					curOld := e.b - old
+					if curOld < 0 {
+						curOld = 0
+					}
+					curNew := e.b - u2
+					if curNew < 0 {
+						curNew = 0
+					}
+					r[e.item] += curNew - curOld
+				}
+			}
+		}
+		// Chain rents: again a second price, over the group members'
+		// rent-free reduced profits.
+		for k, group := range p.Groups {
+			if len(group) == 0 {
+				continue
+			}
+			old := gamma[k]
+			var u1, u2 float64
+			for _, it := range group {
+				u := r[it] + old
+				if u > u1 {
+					u1, u2 = u, u1
+				} else if u > u2 {
+					u2 = u
+				}
+			}
+			if u2 != old {
+				gamma[k] = u2
+				for _, it := range group {
+					r[it] += old - u2
+				}
+			}
+		}
+		// Budget price: the smallest λ at which the items still paying
+		// for themselves fit the budget — the marginal profit density
+		// at the budget boundary.
+		if p.Budget > 0 {
+			old := lambda
+			scratch = scratch[:0]
+			for i := 0; i < n; i++ {
+				if u := r[i] + old*size[i]; u > 0 {
+					scratch = append(scratch, density{d: u / size[i], s: size[i]})
+				}
+			}
+			sort.Slice(scratch, func(a, b int) bool { return scratch[a].d > scratch[b].d })
+			cum, nl := 0.0, 0.0
+			for i := 0; i < len(scratch); {
+				j, gs := i, 0.0
+				for j < len(scratch) && scratch[j].d == scratch[i].d {
+					gs += scratch[j].s
+					j++
+				}
+				if cum+gs > budget {
+					nl = scratch[i].d
+					break
+				}
+				cum += gs
+				i = j
+			}
+			if nl != old {
+				lambda = nl
+				for i := 0; i < n; i++ {
+					r[i] += (old - nl) * size[i]
+				}
+			}
+		}
+		d := dual()
+		if improved := prev - d; improved <= tol*(1+abs(d)) {
+			prev = d
+			sol.Converged = true
+			break
+		}
+		prev = d
+	}
+
+	sol.Bound = prev
+	sol.Lambda = lambda
+	sol.Reduced = r
+	sol.X = extractPrimal(p, r, size)
+	sol.Objective = primalValue(p, sol.X, byQuery, weight)
+	return sol
+}
+
+// supportEps is the reduced-profit threshold below which an item is
+// treated as outside the LP support.
+const supportEps = 1e-9
+
+// extractPrimal builds a feasible fractional x from the final reduced
+// profits: items with positive R in profit-density order fill the
+// budget (the boundary item fractionally), capped by their chains'
+// remaining at-most-one capacity. Ties break toward lower item
+// indices.
+func extractPrimal(p *Problem, r []float64, size []float64) []float64 {
+	n := p.NumItems
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if r[i] > supportEps {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da := r[order[a]] / size[order[a]]
+		db := r[order[b]] / size[order[b]]
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	groupsOf := make([][]int32, n)
+	for k, group := range p.Groups {
+		for _, it := range group {
+			groupsOf[it] = append(groupsOf[it], int32(k))
+		}
+	}
+	groupRem := make([]float64, len(p.Groups))
+	for k := range groupRem {
+		groupRem[k] = 1
+	}
+	budgetRem := float64(p.Budget)
+	x := make([]float64, n)
+	for _, i := range order {
+		cap := 1.0
+		for _, k := range groupsOf[i] {
+			if groupRem[k] < cap {
+				cap = groupRem[k]
+			}
+		}
+		if p.Budget > 0 {
+			if byBudget := budgetRem / size[i]; byBudget < cap {
+				cap = byBudget
+			}
+		}
+		if cap <= supportEps {
+			continue
+		}
+		x[i] = cap
+		if p.Budget > 0 {
+			budgetRem -= cap * size[i]
+		}
+		for _, k := range groupsOf[i] {
+			groupRem[k] -= cap
+		}
+	}
+	return x
+}
+
+// primalValue prices a fractional x: modular weights plus, per query,
+// the fractional best-first assignment of its unit of service to the
+// installed items.
+func primalValue(p *Problem, x []float64, byQuery [][]qItem, weight func(int) float64) float64 {
+	total := 0.0
+	for i, xi := range x {
+		if xi > 0 {
+			total += weight(i) * xi
+		}
+	}
+	var served []qItem
+	for _, items := range byQuery {
+		served = served[:0]
+		for _, e := range items {
+			if x[e.item] > 0 {
+				served = append(served, e)
+			}
+		}
+		if len(served) == 0 {
+			continue
+		}
+		sort.Slice(served, func(a, b int) bool {
+			if served[a].b != served[b].b {
+				return served[a].b > served[b].b
+			}
+			return served[a].item < served[b].item
+		})
+		rem := 1.0
+		for _, e := range served {
+			take := x[e.item]
+			if take > rem {
+				take = rem
+			}
+			total += e.b * take
+			rem -= take
+			if rem <= 0 {
+				break
+			}
+		}
+	}
+	return total
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,337 @@
+package lp
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// solveDefault runs Solve with default options.
+func solveDefault(p *Problem) *Solution {
+	return Solve(p, Options{})
+}
+
+func TestEmptyProblem(t *testing.T) {
+	for _, p := range []*Problem{nil, {}, {NumQueries: 3}} {
+		sol := solveDefault(p)
+		if sol.Bound != 0 || sol.Objective != 0 || !sol.Converged {
+			t.Errorf("empty problem: got bound=%v objective=%v converged=%v", sol.Bound, sol.Objective, sol.Converged)
+		}
+	}
+}
+
+// TestSingleItem pins the trivial instance: one profitable item, slack
+// budget — the LP installs it fully and the bound is exact.
+func TestSingleItem(t *testing.T) {
+	p := &Problem{
+		NumItems:   1,
+		NumQueries: 1,
+		Weight:     []float64{-3},
+		Size:       []int64{5},
+		Budget:     10,
+		Rows:       [][]Entry{{{Query: 0, Benefit: 10}}},
+	}
+	sol := solveDefault(p)
+	if got, want := sol.Objective, 7.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("objective = %v, want %v", got, want)
+	}
+	if math.Abs(sol.Bound-7.0) > 1e-9 {
+		t.Errorf("bound = %v, want 7", sol.Bound)
+	}
+	if sol.X[0] != 1 {
+		t.Errorf("x = %v, want [1]", sol.X)
+	}
+	if !sol.Converged {
+		t.Error("did not converge on a one-item problem")
+	}
+}
+
+// TestSharedQuerySecondPrice pins the per-query coupling: two items
+// serving the same query contribute max(b), not the sum — the LP must
+// not double count shared queries.
+func TestSharedQuerySecondPrice(t *testing.T) {
+	p := &Problem{
+		NumItems:   2,
+		NumQueries: 1,
+		Weight:     []float64{0, 0},
+		Size:       []int64{1, 1},
+		Budget:     10,
+		Rows: [][]Entry{
+			{{Query: 0, Benefit: 10}},
+			{{Query: 0, Benefit: 8}},
+		},
+	}
+	sol := solveDefault(p)
+	if math.Abs(sol.Bound-10) > 1e-9 {
+		t.Errorf("bound = %v, want 10 (max, not 18)", sol.Bound)
+	}
+	if math.Abs(sol.Objective-10) > 1e-9 {
+		t.Errorf("objective = %v, want 10", sol.Objective)
+	}
+	if sol.X[0] != 1 {
+		t.Errorf("x = %v, want the better item installed", sol.X)
+	}
+}
+
+// TestBudgetBinding pins the knapsack side: under a binding budget the
+// denser item wins and the budget price λ settles at the loser's
+// density.
+func TestBudgetBinding(t *testing.T) {
+	p := &Problem{
+		NumItems:   2,
+		NumQueries: 2,
+		Weight:     []float64{0, 0},
+		Size:       []int64{5, 5},
+		Budget:     5,
+		Rows: [][]Entry{
+			{{Query: 0, Benefit: 10}},
+			{{Query: 1, Benefit: 6}},
+		},
+	}
+	sol := solveDefault(p)
+	if math.Abs(sol.Bound-10) > 1e-9 {
+		t.Errorf("bound = %v, want 10", sol.Bound)
+	}
+	if math.Abs(sol.Objective-10) > 1e-9 {
+		t.Errorf("objective = %v, want 10", sol.Objective)
+	}
+	if sol.X[0] != 1 || sol.X[1] != 0 {
+		t.Errorf("x = %v, want [1 0]", sol.X)
+	}
+	if math.Abs(sol.Lambda-1.2) > 1e-9 {
+		t.Errorf("lambda = %v, want 1.2 (the displaced item's density)", sol.Lambda)
+	}
+}
+
+// TestGroupConstraint pins the containment-chain side constraint: an
+// ancestor and its descendant cannot both be fully installed.
+func TestGroupConstraint(t *testing.T) {
+	p := &Problem{
+		NumItems:   2,
+		NumQueries: 2,
+		Weight:     []float64{0, 0},
+		Size:       []int64{1, 1},
+		Budget:     100,
+		Rows: [][]Entry{
+			{{Query: 0, Benefit: 10}},
+			{{Query: 1, Benefit: 9}},
+		},
+		Groups: [][]int32{{0, 1}},
+	}
+	sol := solveDefault(p)
+	if tot := sol.X[0] + sol.X[1]; tot > 1+1e-9 {
+		t.Errorf("group sum = %v, want <= 1", tot)
+	}
+	// Fractional optimum under the chain: x0=1 alone is worth 10; any
+	// split is worse or equal, so the objective is 10.
+	if math.Abs(sol.Objective-10) > 1e-9 {
+		t.Errorf("objective = %v, want 10", sol.Objective)
+	}
+	if sol.Bound < sol.Objective-1e-9 {
+		t.Errorf("bound %v below objective %v", sol.Bound, sol.Objective)
+	}
+}
+
+// surrogate prices an integral item subset: modular weights plus each
+// query's best benefit over the chosen items.
+func surrogate(p *Problem, chosen []bool) float64 {
+	total := 0.0
+	for i := 0; i < p.NumItems; i++ {
+		if chosen[i] {
+			total += p.Weight[i]
+		}
+	}
+	for q := 0; q < p.NumQueries; q++ {
+		best := 0.0
+		for i := 0; i < p.NumItems; i++ {
+			if !chosen[i] {
+				continue
+			}
+			for _, e := range p.Rows[i] {
+				if int(e.Query) == q && e.Benefit > best {
+					best = e.Benefit
+				}
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// feasible reports whether an integral subset satisfies the budget and
+// every at-most-one group.
+func feasible(p *Problem, chosen []bool) bool {
+	var pages int64
+	for i := 0; i < p.NumItems; i++ {
+		if chosen[i] {
+			pages += p.Size[i]
+		}
+	}
+	if p.Budget > 0 && pages > p.Budget {
+		return false
+	}
+	for _, g := range p.Groups {
+		n := 0
+		for _, it := range g {
+			if chosen[it] {
+				n++
+			}
+		}
+		if n > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// lcg is a tiny deterministic generator for the brute-force sweep.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r)
+}
+func (r *lcg) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// TestBoundDominatesBruteForce is the solver's core contract: on random
+// small instances, the dual bound must dominate every feasible integral
+// configuration's surrogate value (exhaustively enumerated), the primal
+// X must be feasible, and its objective must not exceed the bound.
+func TestBoundDominatesBruteForce(t *testing.T) {
+	rng := lcg(7)
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.intn(8) // up to 10 items: 1024 subsets
+		nq := 2 + rng.intn(5)
+		p := &Problem{
+			NumItems:   n,
+			NumQueries: nq,
+			Weight:     make([]float64, n),
+			Size:       make([]int64, n),
+			Rows:       make([][]Entry, n),
+		}
+		for i := 0; i < n; i++ {
+			p.Weight[i] = -10 * rng.float()
+			p.Size[i] = int64(1 + rng.intn(9))
+			nb := rng.intn(nq + 1)
+			seen := map[int32]bool{}
+			for k := 0; k < nb; k++ {
+				q := int32(rng.intn(nq))
+				if seen[q] {
+					continue
+				}
+				seen[q] = true
+				p.Rows[i] = append(p.Rows[i], Entry{Query: q, Benefit: 5 + 20*rng.float()})
+			}
+			// Rows must be query-sorted.
+			for a := 1; a < len(p.Rows[i]); a++ {
+				for b := a; b > 0 && p.Rows[i][b].Query < p.Rows[i][b-1].Query; b-- {
+					p.Rows[i][b], p.Rows[i][b-1] = p.Rows[i][b-1], p.Rows[i][b]
+				}
+			}
+		}
+		if rng.intn(2) == 0 {
+			p.Budget = int64(3 + rng.intn(20))
+		}
+		for g := 0; g < rng.intn(3); g++ {
+			a, b := int32(rng.intn(n)), int32(rng.intn(n))
+			if a != b {
+				p.Groups = append(p.Groups, []int32{a, b})
+			}
+		}
+
+		sol := solveDefault(p)
+
+		best := 0.0
+		chosen := make([]bool, n)
+		for mask := 0; mask < 1<<n; mask++ {
+			for i := 0; i < n; i++ {
+				chosen[i] = mask&(1<<i) != 0
+			}
+			if !feasible(p, chosen) {
+				continue
+			}
+			if v := surrogate(p, chosen); v > best {
+				best = v
+			}
+		}
+		if sol.Bound < best-1e-6 {
+			t.Fatalf("trial %d: bound %v below best integral %v", trial, sol.Bound, best)
+		}
+		if sol.Objective > sol.Bound+1e-6 {
+			t.Fatalf("trial %d: objective %v above bound %v", trial, sol.Objective, sol.Bound)
+		}
+		// X feasibility.
+		var pages float64
+		for i, xi := range sol.X {
+			if xi < -1e-9 || xi > 1+1e-9 {
+				t.Fatalf("trial %d: x[%d] = %v out of [0,1]", trial, i, xi)
+			}
+			pages += xi * float64(p.Size[i])
+		}
+		if p.Budget > 0 && pages > float64(p.Budget)+1e-6 {
+			t.Fatalf("trial %d: fractional pages %v exceed budget %d", trial, pages, p.Budget)
+		}
+		for gi, g := range p.Groups {
+			tot := 0.0
+			for _, it := range g {
+				tot += sol.X[it]
+			}
+			if tot > 1+1e-6 {
+				t.Fatalf("trial %d: group %d sum %v > 1", trial, gi, tot)
+			}
+		}
+	}
+}
+
+// TestDeterministic pins byte-identical solutions across repeat solves.
+func TestDeterministic(t *testing.T) {
+	build := func() *Problem {
+		return &Problem{
+			NumItems:   4,
+			NumQueries: 3,
+			Weight:     []float64{-1, -2, 0.5, -0.25},
+			Size:       []int64{3, 4, 2, 6},
+			Budget:     8,
+			Rows: [][]Entry{
+				{{Query: 0, Benefit: 9}, {Query: 2, Benefit: 4}},
+				{{Query: 0, Benefit: 9}, {Query: 1, Benefit: 7}},
+				{{Query: 1, Benefit: 7}},
+				{{Query: 2, Benefit: 4}},
+			},
+			Groups: [][]int32{{0, 3}},
+		}
+	}
+	a := Solve(build(), Options{})
+	b := Solve(build(), Options{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("solutions differ across identical solves:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestPassCapBoundsWork pins that a tiny pass cap still yields a valid
+// (if looser) bound: fewer passes never drop the bound below the
+// converged one.
+func TestPassCapBoundsWork(t *testing.T) {
+	p := func() *Problem {
+		rng := lcg(11)
+		n, nq := 30, 6
+		pr := &Problem{NumItems: n, NumQueries: nq,
+			Weight: make([]float64, n), Size: make([]int64, n), Rows: make([][]Entry, n), Budget: 25}
+		for i := 0; i < n; i++ {
+			pr.Weight[i] = -15 * rng.float()
+			pr.Size[i] = int64(1 + rng.intn(6))
+			q := int32(rng.intn(nq))
+			pr.Rows[i] = []Entry{{Query: q, Benefit: 5 + 20*rng.float()}}
+		}
+		return pr
+	}
+	full := Solve(p(), Options{})
+	capped := Solve(p(), Options{MaxPasses: 1})
+	if capped.Bound < full.Bound-1e-9 {
+		t.Fatalf("1-pass bound %v below converged bound %v (bounds must stay valid at any cap)", capped.Bound, full.Bound)
+	}
+	if capped.Passes != 1 {
+		t.Fatalf("passes = %d, want 1", capped.Passes)
+	}
+}

@@ -2,6 +2,7 @@ package search_test
 
 import (
 	"context"
+	"os"
 	"sync"
 	"testing"
 
@@ -70,11 +71,14 @@ func syntheticSpace(b *testing.B, n int) *search.Space {
 
 // BenchmarkSearchScale is the scale trajectory behind BENCH_search.json:
 // the synthetic candidate space at 1k/10k/50k candidates, comparing the
-// lazy-greedy heap against the eager baseline and the cost-bounded race
-// against the plain portfolio. evals/op is each strategy's exact
-// what-if call count (Stats.Evals), the quantity the lazy path exists
-// to shrink. The slowest variants are skipped at 50k to keep the CI
-// -benchtime=1x smoke seconds-scale.
+// lazy-greedy heap against the eager baseline, the lp relaxation
+// against lazy greedy, and the cost-bounded race against the plain
+// portfolio. evals/op is each strategy's exact what-if call count
+// (Stats.Evals), the quantity the lazy path (and, far more so, the lp
+// strategy) exists to shrink. The slowest variants are skipped at 50k
+// to keep the CI -benchtime=1x smoke seconds-scale; set
+// SEARCH_SCALE_FULL=1 to run them anyway (the BENCH_search.json
+// refresh does).
 func BenchmarkSearchScale(b *testing.B) {
 	variants := []struct {
 		name  string
@@ -83,9 +87,11 @@ func BenchmarkSearchScale(b *testing.B) {
 	}{
 		{"greedy-eager", "greedy-heuristic", func(sp *search.Space) { sp.EagerGreedy = true }},
 		{"greedy-lazy", "greedy-heuristic", nil},
+		{"lp", "lp", nil},
 		{"race", "race", nil},
 		{"race-bounded", "race", func(sp *search.Space) { sp.RaceCostBound = true }},
 	}
+	full := os.Getenv("SEARCH_SCALE_FULL") != ""
 	for _, sz := range []struct {
 		name string
 		n    int
@@ -98,7 +104,7 @@ func BenchmarkSearchScale(b *testing.B) {
 		b.Run(sz.name, func(b *testing.B) {
 			base := syntheticSpace(b, sz.n)
 			for _, v := range variants {
-				if sz.skip[v.name] {
+				if sz.skip[v.name] && !full {
 					continue
 				}
 				strat, err := search.Lookup(v.strat)

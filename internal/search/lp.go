@@ -1,0 +1,675 @@
+package search
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/lp"
+	"repro/internal/whatif"
+)
+
+// The lp strategy is the CoPhy-style relaxation search: instead of
+// pricing configurations one what-if call at a time, it solves the
+// fractional index-selection LP over the space's standalone benefit
+// matrix (Space.Benefits) — per-(query, candidate) benefit
+// coefficients, modular private benefits and update costs, the page
+// budget as a knapsack row, and at-most-one side constraints over
+// containment chains from the DAG — then deterministically rounds the
+// fractional solution and repairs it with a bounded number of real
+// what-if evaluations. The dual bound certified by the solver upper
+// bounds every feasible configuration's surrogate net, which is what
+// the cost-bounded race aborts against.
+//
+// What-if evaluations are spent only on the rounded configuration and
+// the repair pass (plus one standalone pass per candidate when the
+// space has no Benefits hook), so at 10k-50k candidates the strategy
+// runs orders of magnitude fewer evaluations than lazy greedy while
+// the benefit matrix — memoized by its producer and free of optimizer
+// calls on engine-backed spaces after the first build — carries the
+// model.
+func init() { Register(lpStrategy{}) }
+
+// DefaultLPRepairRounds is the repair-round cap used when
+// Space.LPRepairRounds is 0.
+const DefaultLPRepairRounds = 3
+
+// lpRepairBurst is how many extension candidates one repair round
+// prices with real what-if marginals. It is a fixed constant, not the
+// evaluator's worker count, so recommendations stay independent of the
+// parallelism setting.
+const lpRepairBurst = 8
+
+type lpStrategy struct{}
+
+func (lpStrategy) Name() string { return "lp" }
+
+func (lpStrategy) Search(ctx context.Context, sp *Space) (*Result, error) {
+	tr := newTracer("lp", sp)
+
+	m, err := lpMatrix(ctx, sp, tr)
+	if err != nil {
+		if sp.degradable(err) {
+			return degrade(sp, tr, nil, nil, err), nil
+		}
+		return nil, err
+	}
+
+	// Canonical item order: surrogate standalone net density, densest
+	// first, with the same content-only tie-breaks as rankByDensity —
+	// the LP's item indices, the rounding heap's tie-breaks, and
+	// therefore the recommendation are byte-stable under candidate
+	// permutation.
+	order := lpOrder(sp.Candidates, m)
+
+	prob := lpProblem(sp, m, order)
+	sol := lp.Solve(prob, lp.Options{MaxPasses: sp.LPMaxPasses})
+	support := 0
+	for _, x := range sol.X {
+		if x > 0 {
+			support++
+		}
+	}
+	tr.lp = &LPStats{
+		Objective: sol.Objective,
+		Bound:     sol.Bound,
+		Passes:    sol.Passes,
+		Converged: sol.Converged,
+		Items:     prob.NumItems,
+		NonZero:   m.NonZero(),
+		Chains:    len(prob.Groups),
+		Support:   support,
+	}
+	tr.emit(TraceEvent{Action: ActionSolve, Benefit: sol.Objective,
+		Note: fmt.Sprintf("lp relaxation: objective %.1f, dual bound %.1f, %d passes (converged=%t), support %d of %d items, %d chains",
+			sol.Objective, sol.Bound, sol.Passes, sol.Converged, support, prob.NumItems, len(prob.Groups))})
+
+	// Cost-bounded racing: the dual bound upper-bounds every feasible
+	// configuration's surrogate net. If the leader already beat it,
+	// rounding cannot win — stop before spending a single evaluation.
+	if sp.leader != nil && sol.Bound < sp.leader.best() {
+		return abort(sp, tr, nil, &Eval{}, sol.Bound), nil
+	}
+
+	// Deterministic rounding: a lazy-greedy (CELF) scan over the
+	// surrogate objective under the budget and containment-antichain
+	// constraints, tried from two pivots — LP-support-first (the
+	// fractional solution gets the first claim on the budget) and
+	// density-first over all candidates (the greedy order, for when a
+	// stalled dual leaves the support misleading). Both scans are pure
+	// matrix arithmetic; the better surrogate net wins, ties to the
+	// density pivot.
+	supportPos := make([]int, 0, support)
+	rest := make([]int, 0, len(order)-support)
+	allPos := make([]int, len(order))
+	for pos := range order {
+		allPos[pos] = pos
+		if sol.X[pos] > 0 {
+			supportPos = append(supportPos, pos)
+		} else {
+			rest = append(rest, pos)
+		}
+	}
+	ra := newLPRounder(sp, m, order)
+	ra.phase(supportPos)
+	ra.phase(rest)
+	rb := newLPRounder(sp, m, order)
+	rb.phase(allPos)
+	r, pivot := rb, "density-first"
+	if ra.surNet > rb.surNet {
+		r, pivot = ra, "support-first"
+	}
+	tr.lp.Pivot = pivot
+	for _, a := range r.adds {
+		tr.round++
+		tr.emit(TraceEvent{Action: ActionAdd, Candidate: r.cands[a.pos].Key(), Benefit: a.surNet,
+			Pages: a.pages, Note: "surrogate net (" + pivot + ")"})
+	}
+
+	curEval, err := tr.ev.Evaluate(ctx, r.config)
+	if err != nil {
+		if sp.degradable(err) {
+			return degrade(sp, tr, r.config, nil, err), nil
+		}
+		return nil, err
+	}
+	if sp.leader != nil {
+		sp.leader.publish(curEval.Net)
+	}
+	tr.emit(TraceEvent{Action: ActionRounded, Benefit: curEval.Net, Pages: r.pages,
+		Note: fmt.Sprintf("rounded net %.1f vs lp objective %.1f (bound %.1f)", curEval.Net, sol.Objective, sol.Bound)})
+
+	// Bounded what-if repair: drop members no plan uses, then try a
+	// burst of surrogate-promising extensions priced by real marginal
+	// evaluations — the matrix proposes, the what-if service disposes.
+	repairBase := tr.ev.calls.Load()
+	curEval, res, err := r.repair(ctx, sp, tr, curEval)
+	if err != nil || res != nil {
+		return res, err
+	}
+	tr.lp.RepairEvals = tr.ev.calls.Load() - repairBase
+
+	// Never worse than empty: a rounded configuration that nets out
+	// negative is discarded wholesale.
+	if curEval.Net < 0 {
+		tr.emit(TraceEvent{Action: ActionSkip, Benefit: curEval.Net, Pages: r.pages,
+			Note: "rounded configuration nets negative; reverting to the empty configuration"})
+		r.config, curEval = nil, nil
+	}
+	if tr.lp != nil {
+		if curEval != nil {
+			tr.lp.RoundedNet = curEval.Net
+		}
+	}
+	return finish(ctx, sp, tr, r.config, curEval)
+}
+
+// lpMatrix obtains the benefit model: the space's Benefits hook when
+// wired, else one standalone what-if pass through the strategy's
+// counting evaluator, decomposed into modular terms only (no per-query
+// rows) — the LP then degenerates to a knapsack over standalone nets,
+// which is still budget-sound and repair-corrected.
+func lpMatrix(ctx context.Context, sp *Space, tr *tracer) (*whatif.BenefitMatrix, error) {
+	if sp.Benefits != nil {
+		m, err := sp.Benefits(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if m != nil {
+			return m, nil
+		}
+	}
+	evals, err := evalEach(ctx, tr.ev, nil, sp.Candidates)
+	if err != nil {
+		return nil, err
+	}
+	m := &whatif.BenefitMatrix{
+		Rows:    make([][]whatif.BenefitEntry, len(sp.Candidates)),
+		Private: make([]float64, len(sp.Candidates)),
+		Update:  make([]float64, len(sp.Candidates)),
+	}
+	for i, e := range evals {
+		m.Private[i] = e.QueryBenefit
+		m.Update[i] = e.UpdateCost
+	}
+	return m, nil
+}
+
+// lpOrder returns the candidates in surrogate standalone net density
+// order (content-only tie-breaks, mirroring rankByDensity).
+func lpOrder(cands []*Candidate, m *whatif.BenefitMatrix) []int {
+	net := make([]float64, len(cands))
+	for ci := range cands {
+		net[ci] = m.StandaloneBenefit(ci) - m.UpdateCost(ci)
+	}
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := cands[order[i]], cands[order[j]]
+		ri := ratio(net[order[i]], a.Pages())
+		rj := ratio(net[order[j]], b.Pages())
+		if ri != rj {
+			return ri > rj
+		}
+		if da, db := a.Pattern.DescendantCount(), b.Pattern.DescendantCount(); da != db {
+			return da < db
+		}
+		if wa, wb := a.Pattern.WildcardCount(), b.Pattern.WildcardCount(); wa != wb {
+			return wa < wb
+		}
+		return a.Key() < b.Key()
+	})
+	return order
+}
+
+// lpProblem assembles the relaxation: weights are the modular nets
+// (private benefit minus update cost), rows the per-query benefit
+// coefficients, and every (ancestor, descendant) containment pair an
+// at-most-one group.
+func lpProblem(sp *Space, m *whatif.BenefitMatrix, order []int) *lp.Problem {
+	prob := &lp.Problem{
+		NumItems:   len(order),
+		NumQueries: m.NumQueries,
+		Weight:     make([]float64, len(order)),
+		Size:       make([]int64, len(order)),
+		Rows:       make([][]lp.Entry, len(order)),
+		Budget:     sp.BudgetPages,
+	}
+	itemOf := make(map[int]int, len(order)) // candidate ID -> item index
+	for pos, ci := range order {
+		c := sp.Candidates[ci]
+		itemOf[c.ID] = pos
+		prob.Weight[pos] = m.PrivateBenefit(ci) - m.UpdateCost(ci)
+		prob.Size[pos] = c.Pages()
+		if ci < len(m.Rows) && len(m.Rows[ci]) > 0 {
+			row := make([]lp.Entry, len(m.Rows[ci]))
+			for i, e := range m.Rows[ci] {
+				row[i] = lp.Entry{Query: e.Query, Benefit: e.Benefit}
+			}
+			prob.Rows[pos] = row
+		}
+	}
+	if sp.DAG != nil {
+		// Groups are emitted in item order (content-canonical), so the
+		// solver's chain-coordinate sweep is deterministic too.
+		for pos := range order {
+			c := sp.Candidates[order[pos]]
+			seen := map[int]bool{}
+			stack := append([]*Candidate(nil), c.Parents...)
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if seen[p.ID] {
+					continue
+				}
+				seen[p.ID] = true
+				if anc, ok := itemOf[p.ID]; ok {
+					prob.Groups = append(prob.Groups, []int32{int32(anc), int32(pos)})
+				}
+				stack = append(stack, p.Parents...)
+			}
+		}
+	}
+	return prob
+}
+
+// lpRounder is the deterministic rounding state: the growing integral
+// configuration, each query's current best surrogate benefit, and the
+// chosen-candidate set the containment-antichain check runs against.
+type lpRounder struct {
+	sp      *Space
+	cands   []*Candidate // by item position (canonical order)
+	rows    [][]whatif.BenefitEntry
+	weights []float64
+	curQ    []float64
+	chosen  map[int]bool // candidate ID -> chosen
+	banned  map[int]bool // dropped as unused by repair; never re-added
+	config  []*Candidate
+	pages   int64
+	surNet  float64
+	version int
+	// adds records the rounding scan's accepted items in order, so the
+	// winning pivot's trace can be emitted after the pivots compete.
+	adds []lpAdd
+}
+
+// lpAdd is one accepted rounding step: the item and the surrogate
+// net/pages after it joined.
+type lpAdd struct {
+	pos    int
+	surNet float64
+	pages  int64
+}
+
+func newLPRounder(sp *Space, m *whatif.BenefitMatrix, order []int) *lpRounder {
+	r := &lpRounder{
+		sp:      sp,
+		cands:   make([]*Candidate, len(order)),
+		rows:    make([][]whatif.BenefitEntry, len(order)),
+		weights: make([]float64, len(order)),
+		curQ:    make([]float64, m.NumQueries),
+		chosen:  map[int]bool{},
+		banned:  map[int]bool{},
+	}
+	for pos, ci := range order {
+		r.cands[pos] = sp.Candidates[ci]
+		if ci < len(m.Rows) {
+			r.rows[pos] = m.Rows[ci]
+		}
+		r.weights[pos] = m.PrivateBenefit(ci) - m.UpdateCost(ci)
+	}
+	return r
+}
+
+// gain is the exact surrogate marginal of adding item pos to the
+// current configuration: its modular weight plus, per query, the
+// improvement over the query's current best server.
+func (r *lpRounder) gain(pos int) float64 {
+	g := r.weights[pos]
+	for _, e := range r.rows[pos] {
+		if e.Benefit > r.curQ[e.Query] {
+			g += e.Benefit - r.curQ[e.Query]
+		}
+	}
+	return g
+}
+
+// conflicts reports whether the candidate is an ancestor or descendant
+// of an already chosen one (the at-most-one-per-chain constraint the
+// LP's groups encode, enforced exactly on the integral side).
+func (r *lpRounder) conflicts(c *Candidate) bool {
+	if len(r.chosen) == 0 {
+		return false
+	}
+	return r.walkConflict(c.Parents, func(n *Candidate) []*Candidate { return n.Parents }) ||
+		r.walkConflict(c.Children, func(n *Candidate) []*Candidate { return n.Children })
+}
+
+func (r *lpRounder) walkConflict(start []*Candidate, next func(*Candidate) []*Candidate) bool {
+	seen := map[int]bool{}
+	stack := append([]*Candidate(nil), start...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n.ID] {
+			continue
+		}
+		seen[n.ID] = true
+		if r.chosen[n.ID] {
+			return true
+		}
+		stack = append(stack, next(n)...)
+	}
+	return false
+}
+
+// add commits item pos to the configuration and updates the surrogate
+// state.
+func (r *lpRounder) add(pos int) float64 {
+	g := r.gain(pos)
+	c := r.cands[pos]
+	r.config = append(r.config, c)
+	r.chosen[c.ID] = true
+	r.pages += c.Pages()
+	r.surNet += g
+	for _, e := range r.rows[pos] {
+		if e.Benefit > r.curQ[e.Query] {
+			r.curQ[e.Query] = e.Benefit
+		}
+	}
+	r.version++
+	return g
+}
+
+// lpRoundItem is one heap entry of the rounding scan: the item's
+// last-known marginal surrogate density (an upper bound — marginals
+// only shrink as the configuration grows) and the configuration
+// version it was computed at.
+type lpRoundItem struct {
+	pos int
+	key float64
+	ver int
+}
+
+// lpRoundHeap is a max-heap over (key desc, pos asc): equal marginals
+// resolve to the canonical density-rank position, the same tie the
+// greedy strategies use.
+type lpRoundHeap []*lpRoundItem
+
+func (h lpRoundHeap) Len() int { return len(h) }
+func (h lpRoundHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key > h[j].key
+	}
+	return h[i].pos < h[j].pos
+}
+func (h lpRoundHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *lpRoundHeap) Push(x any)   { *h = append(*h, x.(*lpRoundItem)) }
+func (h *lpRoundHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// phase runs one CELF scan over the given item positions: pop the top,
+// refresh its marginal if stale, accept it when fresh and positive.
+// Items over budget or in containment conflict are discarded for good
+// — the configuration only grows, so neither condition can clear. The
+// scan costs zero what-if evaluations; it is pure matrix arithmetic.
+func (r *lpRounder) phase(positions []int) {
+	h := make(lpRoundHeap, 0, len(positions))
+	for _, pos := range positions {
+		g := r.gain(pos)
+		h = append(h, &lpRoundItem{pos: pos, key: ratio(g, r.cands[pos].Pages()), ver: r.version})
+	}
+	heap.Init(&h)
+	for len(h) > 0 {
+		top := h[0]
+		if top.key <= 0 {
+			break // keys are upper bounds: nothing below can be positive
+		}
+		c := r.cands[top.pos]
+		if !r.sp.Fits(r.pages+c.Pages()) || r.conflicts(c) {
+			heap.Pop(&h)
+			continue
+		}
+		if top.ver != r.version {
+			top.key = ratio(r.gain(top.pos), c.Pages())
+			top.ver = r.version
+			heap.Fix(&h, 0)
+			continue
+		}
+		heap.Pop(&h)
+		r.add(top.pos)
+		r.adds = append(r.adds, lpAdd{pos: top.pos, surNet: r.surNet, pages: r.pages})
+	}
+}
+
+// repair runs the bounded what-if repair loop: per round, drop
+// configuration members no plan uses, then price a burst of the most
+// surrogate-promising extensions with real marginal evaluations and
+// add the best positive one. It returns the repaired evaluation, or a
+// terminal (degraded) result when the backend goes away mid-repair.
+func (r *lpRounder) repair(ctx context.Context, sp *Space, tr *tracer, curEval *Eval) (*Eval, *Result, error) {
+	rounds := sp.LPRepairRounds
+	if rounds == 0 {
+		rounds = DefaultLPRepairRounds
+	}
+	if rounds < 0 {
+		return curEval, nil, nil // repair disabled
+	}
+
+	// Rescue: a rounded configuration that nets negative means the
+	// surrogate badly overestimated (typically the modular-only
+	// fallback matrix, which double-counts shared queries). The
+	// rounding order is a greedy density order, so price its doubling
+	// prefixes — O(log n) evaluations — and restart repair from the
+	// best one instead of handing the net<0 guard a wholesale revert.
+	if curEval.Net < 0 && len(r.adds) > 1 {
+		bestEval, bestK := curEval, len(r.adds)
+		for k := 1; k < len(r.adds); k *= 2 {
+			e, err := tr.ev.Evaluate(ctx, r.config[:k])
+			if err != nil {
+				if sp.degradable(err) {
+					return nil, degrade(sp, tr, r.config, curEval, err), nil
+				}
+				return nil, nil, err
+			}
+			if e.Net > bestEval.Net {
+				bestEval, bestK = e, k
+			}
+		}
+		if bestK < len(r.adds) {
+			for _, c := range r.config[bestK:] {
+				delete(r.chosen, c.ID)
+			}
+			r.config = r.config[:bestK:bestK]
+			r.pages = PagesOf(r.config)
+			r.rebuildCurQ()
+			r.version++
+			curEval = bestEval
+			if sp.leader != nil {
+				sp.leader.publish(curEval.Net)
+			}
+			tr.emit(TraceEvent{Action: ActionDrop, Benefit: curEval.Net, Pages: r.pages,
+				Note: fmt.Sprintf("rescue: rounded net was negative; truncated to the best %d-member prefix", bestK)})
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		changed := false
+
+		pruned := r.config[:0:0]
+		for _, c := range r.config {
+			if curEval.Used[c.ID] {
+				pruned = append(pruned, c)
+				continue
+			}
+			tr.emit(TraceEvent{Action: ActionReclaim, Candidate: c.Key(), Note: "unused under rounded config"})
+			delete(r.chosen, c.ID)
+			r.banned[c.ID] = true
+		}
+		if len(pruned) != len(r.config) {
+			r.config = pruned
+			r.pages = PagesOf(pruned)
+			r.rebuildCurQ()
+			var err error
+			curEval, err = tr.ev.Evaluate(ctx, r.config)
+			if err != nil {
+				if sp.degradable(err) {
+					return nil, degrade(sp, tr, r.config, nil, err), nil
+				}
+				return nil, nil, err
+			}
+			if sp.leader != nil {
+				sp.leader.publish(curEval.Net)
+			}
+			changed = true
+		}
+
+		batch := r.extensionBurst()
+		if len(batch) > 0 {
+			cands := make([]*Candidate, len(batch))
+			for i, pos := range batch {
+				cands[i] = r.cands[pos]
+			}
+			evals, err := evalEach(ctx, tr.ev, r.config, cands)
+			if err != nil {
+				if sp.degradable(err) {
+					return nil, degrade(sp, tr, r.config, curEval, err), nil
+				}
+				return nil, nil, err
+			}
+			// CELF over the burst's real marginals: accept the freshest
+			// best positive extension, mark the survivors stale, and
+			// refresh one entry per pop — each accepted add costs a
+			// handful of evaluations, not a full burst re-pricing.
+			items := make([]*lpExt, len(batch))
+			for i, pos := range batch {
+				items[i] = &lpExt{pos: pos, c: cands[i], eval: evals[i],
+					key: ratio(evals[i].Net-curEval.Net, cands[i].Pages()), fresh: true}
+			}
+			for len(items) > 0 {
+				sort.SliceStable(items, func(i, j int) bool {
+					if items[i].key != items[j].key {
+						return items[i].key > items[j].key
+					}
+					return items[i].pos < items[j].pos
+				})
+				top := items[0]
+				if top.key <= 0 {
+					break
+				}
+				if !r.sp.Fits(r.pages+top.c.Pages()) || r.conflicts(top.c) {
+					items = items[1:]
+					continue
+				}
+				if !top.fresh {
+					re, err := evalEach(ctx, tr.ev, r.config, []*Candidate{top.c})
+					if err != nil {
+						if sp.degradable(err) {
+							return nil, degrade(sp, tr, r.config, curEval, err), nil
+						}
+						return nil, nil, err
+					}
+					top.eval = re[0]
+					top.key = ratio(re[0].Net-curEval.Net, top.c.Pages())
+					top.fresh = true
+					continue
+				}
+				r.add(top.pos)
+				curEval = top.eval
+				if sp.leader != nil {
+					sp.leader.publish(curEval.Net)
+				}
+				tr.round++
+				tr.emit(TraceEvent{Action: ActionAdd, Candidate: top.c.Key(), Benefit: curEval.Net,
+					Pages: r.pages, Note: "repair: real marginal"})
+				changed = true
+				items = items[1:]
+				for _, it := range items {
+					it.fresh = false
+				}
+			}
+		}
+
+		if !changed {
+			break
+		}
+	}
+	return curEval, nil, nil
+}
+
+// lpExt is one repair-burst entry: the extension candidate, its latest
+// real evaluation, and whether that evaluation still reflects the
+// current configuration.
+type lpExt struct {
+	pos   int
+	c     *Candidate
+	eval  *Eval
+	key   float64
+	fresh bool
+}
+
+// extensionBurst picks the lpRepairBurst unchosen items with the best
+// surrogate marginal density that fit the budget and the antichain —
+// the repair round's real-evaluation shortlist. Non-positive surrogate
+// marginals stay in the pool (ranked last): the surrogate has no
+// interaction terms, so a candidate it scores at zero can still carry
+// real complementary benefit, and pricing it is exactly what repair is
+// for. The burst size is constant so recommendations stay
+// parallelism-independent.
+func (r *lpRounder) extensionBurst() []int {
+	type scored struct {
+		pos int
+		key float64
+	}
+	var top []scored
+	for pos, c := range r.cands {
+		if r.chosen[c.ID] || r.banned[c.ID] {
+			continue
+		}
+		if !r.sp.Fits(r.pages+c.Pages()) || r.conflicts(c) {
+			continue
+		}
+		top = append(top, scored{pos: pos, key: ratio(r.gain(pos), c.Pages())})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].key != top[j].key {
+			return top[i].key > top[j].key
+		}
+		return top[i].pos < top[j].pos
+	})
+	if len(top) > lpRepairBurst {
+		top = top[:lpRepairBurst]
+	}
+	out := make([]int, len(top))
+	for i, s := range top {
+		out[i] = s.pos
+	}
+	return out
+}
+
+// rebuildCurQ recomputes the per-query best surrogate benefit from the
+// current configuration after members were dropped.
+func (r *lpRounder) rebuildCurQ() {
+	for q := range r.curQ {
+		r.curQ[q] = 0
+	}
+	for pos, c := range r.cands {
+		if !r.chosen[c.ID] {
+			continue
+		}
+		for _, e := range r.rows[pos] {
+			if e.Benefit > r.curQ[e.Query] {
+				r.curQ[e.Query] = e.Benefit
+			}
+		}
+	}
+}

@@ -22,6 +22,8 @@ var (
 		"knapsack":  "greedy-basic",
 		"top-down":  "topdown",
 		"portfolio": "race",
+		"cophy":     "lp",
+		"relax":     "lp",
 	}
 )
 

@@ -329,12 +329,14 @@ func (s *synthEval) Workers() int { return synWorkers }
 // alone, candidate c improves each of its shared queries by vals[c]
 // (it wins every query it serves when nothing competes) and delivers
 // its private benefit base[c]. Row sums plus Private therefore equal
-// the standalone QueryBenefit eval reports, which the matrix tests pin.
+// the standalone QueryBenefit eval reports, which the matrix tests
+// pin, and Update carries the model's modular update cost.
 func (s *synthEval) benefits() *whatif.BenefitMatrix {
 	m := &whatif.BenefitMatrix{
 		NumQueries: s.m,
 		Rows:       make([][]whatif.BenefitEntry, len(s.vals)),
 		Private:    append([]float64(nil), s.base...),
+		Update:     append([]float64(nil), s.upd...),
 	}
 	for c := range s.vals {
 		if s.vals[c] <= 0 || len(s.queries[c]) == 0 {

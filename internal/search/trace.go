@@ -45,6 +45,14 @@ const (
 	// configuration because the what-if backend became unavailable
 	// mid-run (circuit breaker open) under the anytime contract.
 	ActionDegraded Action = "degraded"
+	// ActionSolve records the lp strategy solving the fractional
+	// relaxation: Benefit carries the LP objective, the note the dual
+	// bound and pass count.
+	ActionSolve Action = "solve"
+	// ActionRounded records the lp strategy's rounded configuration
+	// priced by the real what-if evaluator: Benefit is the rounded net,
+	// the note compares it against the LP objective and bound.
+	ActionRounded Action = "rounded"
 )
 
 // TraceEvent is one structured search step: which round, what happened,
@@ -161,6 +169,45 @@ type Stats struct {
 	Degraded bool    `json:"degraded,omitempty"`
 	Winner   string  `json:"winner,omitempty"`
 	Members  []Stats `json:"members,omitempty"`
+	// LP summarizes the lp strategy's relaxation solve; nil for every
+	// other strategy.
+	LP *LPStats `json:"lp,omitempty"`
+}
+
+// LPStats summarize one lp-strategy run: the relaxation's objective
+// and certified upper bound next to the net benefit the rounded
+// configuration actually achieved, plus the solve's shape.
+type LPStats struct {
+	// Objective is the primal value of the fractional solution.
+	Objective float64 `json:"objective"`
+	// Bound is the dual upper bound on any feasible configuration's
+	// surrogate net benefit (the race cost-bound the strategy aborts
+	// against).
+	Bound float64 `json:"bound"`
+	// RoundedNet is the what-if net benefit of the final rounded (and
+	// repaired) configuration.
+	RoundedNet float64 `json:"roundedNet"`
+	// Passes is the number of dual coordinate-descent passes spent.
+	Passes int `json:"passes"`
+	// Converged reports whether the dual converged before the pass cap.
+	Converged bool `json:"converged"`
+	// Items, NonZero, and Chains describe the solved relaxation:
+	// candidate count, populated benefit cells, and containment-chain
+	// side constraints.
+	Items   int `json:"items"`
+	NonZero int `json:"nonZero"`
+	Chains  int `json:"chains"`
+	// Support is the number of candidates with positive fractional
+	// installation.
+	Support int `json:"support"`
+	// Pivot names the rounding pivot that won: "support-first" (the
+	// fractional solution claimed the budget first) or "density-first"
+	// (the greedy order, when a stalled dual left the support
+	// misleading).
+	Pivot string `json:"pivot,omitempty"`
+	// RepairEvals counts the what-if evaluations the bounded repair
+	// pass spent after rounding.
+	RepairEvals int64 `json:"repairEvals"`
 }
 
 // String renders the stats as one line.
@@ -205,6 +252,7 @@ type tracer struct {
 	truncated int
 	aborted   bool
 	degraded  bool
+	lp        *LPStats
 	events    Trace
 }
 
@@ -256,5 +304,6 @@ func (t *tracer) stats() Stats {
 		Truncated: t.truncated,
 		Aborted:   t.aborted,
 		Degraded:  t.degraded,
+		LP:        t.lp,
 	}
 }

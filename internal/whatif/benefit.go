@@ -15,9 +15,10 @@ type BenefitEntry struct {
 // BenefitMatrix holds standalone per-(query, candidate) benefit
 // estimates: row i lists, sorted by query index, the queries candidate
 // i improves when installed alone. It is the decomposed benefit model
-// a CoPhy-style LP search strategy optimizes over — benefits only;
-// update/maintenance costs are modular per candidate and stay the
-// search layer's concern. Rows are aligned with whatever candidate
+// a CoPhy-style LP search strategy optimizes over: per-query benefits
+// in Rows, plus the modular per-candidate terms (Private benefit and
+// Update maintenance cost) that make net benefits computable without
+// further what-if calls. Rows are aligned with whatever candidate
 // order the producer documents (search.Space.Benefits aligns with
 // Space.Candidates).
 type BenefitMatrix struct {
@@ -29,6 +30,12 @@ type BenefitMatrix struct {
 	// (synthetic benefit models use it); nil or zero for engine-built
 	// matrices.
 	Private []float64
+	// Update is the optional per-candidate modular maintenance cost
+	// (weighted update cost of installing the candidate alone).
+	// Producers that know it fill it — the update cost is modular in
+	// every shipped cost model, so consumers may treat nil as zero and
+	// lean on what-if repair for anything the matrix cannot see.
+	Update []float64
 }
 
 // Entry returns the (candidate, query) benefit, 0 when absent.
@@ -52,6 +59,24 @@ func (m *BenefitMatrix) StandaloneBenefit(ci int) float64 {
 		total += m.Private[ci]
 	}
 	return total
+}
+
+// UpdateCost is candidate ci's modular maintenance cost, 0 when the
+// producer did not fill Update.
+func (m *BenefitMatrix) UpdateCost(ci int) float64 {
+	if m.Update == nil {
+		return 0
+	}
+	return m.Update[ci]
+}
+
+// PrivateBenefit is candidate ci's query-independent benefit, 0 when
+// the producer did not fill Private.
+func (m *BenefitMatrix) PrivateBenefit(ci int) float64 {
+	if m.Private == nil {
+		return 0
+	}
+	return m.Private[ci]
 }
 
 // NonZero counts the populated cells across all rows.
