@@ -131,12 +131,27 @@ func (a *Advisor) BudgetPages() int64 { return a.cfg.core.DiskBudgetPages }
 // what-if evaluator is bound, so every subsequent Recommend on the
 // session — any strategy, any budget, from any goroutine — reuses the
 // candidate space and the warm cache.
+//
+// With WithSnapshotDir, Open first tries to warm-start from the
+// workload's snapshot file: a hit skips the pipeline and the base-cost
+// evaluations entirely, and the restored session recommends
+// byte-identically to the one that saved. Any miss or mismatch falls
+// back to a cold prepare.
 func (a *Advisor) Open(ctx context.Context, w *Workload) (*Session, error) {
+	if sess := a.tryRestore(ctx, w); sess != nil {
+		return sess, nil
+	}
 	prep, err := a.core.Prepare(ctx, w)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{adv: a, prep: prep, name: w.Name, created: time.Now()}, nil
+	return &Session{
+		adv:      a,
+		prep:     prep,
+		name:     w.Name,
+		created:  time.Now(),
+		snapPath: a.WorkloadSnapshotPath(w),
+	}, nil
 }
 
 // Recommend is the one-shot convenience path: prepare the workload,

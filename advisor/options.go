@@ -3,6 +3,7 @@ package advisor
 import (
 	"errors"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/candidate"
@@ -47,9 +48,10 @@ func (e *OptionError) Unwrap() error { return ErrInvalidOption }
 // config is the advisor's resolved configuration: the core options plus
 // the facade-level request defaults.
 type config struct {
-	core      core.Options
-	deadline  time.Duration
-	faultSpec string
+	core        core.Options
+	deadline    time.Duration
+	faultSpec   string
+	snapshotDir string
 }
 
 func defaultConfig() config {
@@ -322,6 +324,11 @@ func (c *config) validate() error {
 	if c.deadline < 0 {
 		return &OptionError{Option: "WithDeadline", Value: c.deadline,
 			Reason: "deadline must be >= 0 (0 = none)"}
+	}
+	if c.snapshotDir != "" {
+		if err := os.MkdirAll(c.snapshotDir, 0o755); err != nil {
+			return &OptionError{Option: "WithSnapshotDir", Value: c.snapshotDir, Reason: err.Error()}
+		}
 	}
 	if c.faultSpec != "" {
 		sched, err := whatif.ParseFaultSpec(c.faultSpec)

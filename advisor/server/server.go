@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,9 @@ type Server struct {
 	// inflight counts recommend requests currently being served, for
 	// MaxInFlight admission and the health report.
 	inflight atomic.Int64
+	// evictedPersisted counts sessions persisted to disk on eviction
+	// (only ever non-zero with a snapshot directory configured).
+	evictedPersisted atomic.Int64
 
 	mu       sync.Mutex
 	seq      int64
@@ -127,6 +131,9 @@ func New(adv *advisor.Advisor, opts Options) *Server {
 	mux.HandleFunc("GET /v1/strategies", s.handleStrategies)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux = mux
+	// With durable sessions, new IDs must not collide with sessions a
+	// previous process persisted.
+	s.scanSnapshotSeq()
 	return s
 }
 
@@ -169,7 +176,11 @@ func (s *Server) Janitor(ctx context.Context, interval time.Duration) {
 
 // EvictIdle closes and removes every session idle longer than IdleTTL,
 // returning how many were evicted. Sessions with in-flight requests are
-// never evicted.
+// never evicted. With durable sessions on, each victim is persisted to
+// its snapshot file first (counted in EvictedPersisted), so a later
+// request on its ID resumes it warm instead of finding a 404; a session
+// that fails to persist is still evicted — eviction is the memory
+// bound, durability is best effort.
 func (s *Server) EvictIdle() int {
 	if s.opts.IdleTTL <= 0 {
 		return 0
@@ -180,6 +191,9 @@ func (s *Server) EvictIdle() int {
 	n := 0
 	for id, e := range s.sessions {
 		if e.idleSince(cutoff) {
+			if err := s.persistSession(e); err == nil && s.snapshotsOn() {
+				s.evictedPersisted.Add(1)
+			}
 			e.sess.Close()
 			delete(s.sessions, id)
 			n++
@@ -222,6 +236,16 @@ type SessionInfo struct {
 	LastUsedMS  int64 `json:"lastUsedMs"`
 	// Active counts in-flight recommendations.
 	Active int `json:"active"`
+	// Durable reports whether the session persists to a snapshot
+	// directory (eviction and graceful shutdown save it; its ID resumes
+	// lazily). The remaining fields are only set when it does.
+	Durable bool `json:"durable,omitempty"`
+	// RestoredFrom is the snapshot path the session warm-started from
+	// ("" for a cold open).
+	RestoredFrom string `json:"restoredFrom,omitempty"`
+	// LastSavedMS is the Unix-millisecond time of the session's last
+	// successful persist (0 = never persisted by this process).
+	LastSavedMS int64 `json:"lastSavedMs,omitempty"`
 }
 
 // SessionList is the GET /v1/sessions response.
@@ -253,6 +277,14 @@ type Health struct {
 	// InFlight counts recommend requests currently being served
 	// (bounded by Options.MaxInFlight when set).
 	InFlight int `json:"inFlight"`
+	// SnapshotDir is the durable-session snapshot directory (empty =
+	// durability off; the remaining snapshot fields are then absent).
+	SnapshotDir string `json:"snapshotDir,omitempty"`
+	// SnapshotFiles counts snapshot files currently in the directory.
+	SnapshotFiles int `json:"snapshotFiles,omitempty"`
+	// EvictedPersisted counts sessions persisted on idle eviction since
+	// the process started.
+	EvictedPersisted int64 `json:"evictedPersisted,omitempty"`
 }
 
 // Error is the JSON error envelope every non-2xx response carries.
@@ -352,7 +384,22 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	e := s.sessions[id]
 	delete(s.sessions, id)
 	s.mu.Unlock()
+	// Explicit DELETE also discards the ID-keyed snapshot file: the
+	// client is done with this ID, so lazy resume must not resurrect
+	// it. This holds even when the session is only on disk (evicted
+	// from memory after a persist), in which case the delete of the
+	// file is the whole close.
+	onDisk := false
+	if e == nil && s.snapshotsOn() && validSessionID(id) {
+		_, statErr := os.Stat(s.sessionSnapshotPath(id))
+		onDisk = statErr == nil
+	}
+	s.removeSessionSnapshot(id)
 	if e == nil {
+		if onDisk {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
 		s.error(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
 		return
 	}
@@ -451,6 +498,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			h.Status = "degraded"
 		}
 	}
+	if s.snapshotsOn() {
+		h.SnapshotDir = s.adv.SnapshotDir()
+		h.SnapshotFiles = s.snapshotFileCount()
+		h.EvictedPersisted = s.EvictedPersisted()
+	}
 	s.json(w, http.StatusOK, h)
 }
 
@@ -458,12 +510,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // lookup resolves the {id} path segment, answering 404 itself when the
 // session does not exist (closed or evicted sessions are gone from the
-// map, so they 404 too).
+// map, so they 404 too — unless durable sessions can resume the ID from
+// its snapshot file).
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	e := s.sessions[id]
 	s.mu.Unlock()
+	if e == nil {
+		e = s.resume(r.Context(), id)
+	}
 	if e == nil {
 		s.error(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
 	}
@@ -474,26 +530,34 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *session {
 // eviction sweep: a request that resolved its session is marked active
 // before EvictIdle could consider the entry, closing the window where a
 // live request lands on a just-evicted session. Callers must pair it
-// with session.done.
+// with session.done. An ID missing from memory but present in the
+// snapshot directory is resumed first, then acquired.
 func (s *Server) acquire(w http.ResponseWriter, r *http.Request) *session {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	e := s.sessions[id]
-	if e != nil {
-		e.touch(s.opts.Now())
+	for {
+		s.mu.Lock()
+		e := s.sessions[id]
+		if e != nil {
+			e.touch(s.opts.Now())
+		}
+		s.mu.Unlock()
+		if e != nil {
+			return e
+		}
+		if s.resume(r.Context(), id) == nil {
+			s.error(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
+			return nil
+		}
+		// Loop to touch the resumed entry under the lock: the janitor
+		// must see it active before it can consider evicting it again.
 	}
-	s.mu.Unlock()
-	if e == nil {
-		s.error(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
-	}
-	return e
 }
 
 func (s *Server) info(e *session) SessionInfo {
 	e.mu.Lock()
 	lastUsed, active := e.lastUsed, e.active
 	e.mu.Unlock()
-	return SessionInfo{
+	info := SessionInfo{
 		APIVersion:  advisor.APIVersion,
 		ID:          e.id,
 		Workload:    e.sess.Workload(),
@@ -502,6 +566,8 @@ func (s *Server) info(e *session) SessionInfo {
 		LastUsedMS:  lastUsed.UnixMilli(),
 		Active:      active,
 	}
+	s.snapshotStatus(e, &info)
+	return info
 }
 
 // decode reads a JSON body into v, answering 400 on malformed input.

@@ -25,9 +25,14 @@ type Session struct {
 	prep    *core.Prepared
 	name    string
 	created time.Time
+	// snapPath is the workload-keyed snapshot file (empty without
+	// WithSnapshotDir); restoredFrom records the warm-start source.
+	snapPath     string
+	restoredFrom string
 
-	mu     sync.Mutex
-	closed bool
+	mu        sync.Mutex
+	closed    bool
+	lastSaved time.Time
 }
 
 // Workload names the session's workload.

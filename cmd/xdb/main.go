@@ -24,6 +24,9 @@
 //	candidates <workload-file> [rules]
 //	search <workload-file> [budget-pages]
 //	search -synthetic n=N [budget-pages]
+//	snapshot save <workload-file> <path> [strategy]
+//	snapshot restore <path> [budget-pages]
+//	snapshot inspect <path>
 //	help | quit
 package main
 
@@ -130,7 +133,7 @@ func (s *shell) run(line string) error {
 	rest = strings.TrimSpace(rest)
 	switch cmd {
 	case "help":
-		fmt.Fprintln(s.out, "commands: gen, load, ls, stats, create, drop, query, explain, enumerate, evaluate, whatif, candidates, search, quit")
+		fmt.Fprintln(s.out, "commands: gen, load, ls, stats, create, drop, query, explain, enumerate, evaluate, whatif, candidates, search, snapshot, quit")
 		return nil
 	case "gen":
 		// Mutating commands invalidate memoized what-if costs: the
@@ -168,6 +171,8 @@ func (s *shell) run(line string) error {
 		return s.cmdCandidates(rest)
 	case "search":
 		return s.cmdSearch(rest)
+	case "snapshot":
+		return s.cmdSnapshot(rest)
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -733,6 +738,145 @@ func (s *shell) cmdSearchSynthetic(fields []string) error {
 		return err
 	}
 	return run("race-bounded", func(v *search.Space) { v.RaceCostBound = true }, "")
+}
+
+// cmdSnapshot is the durable-session toolbox:
+//
+//	snapshot save <workload-file> <path> [strategy]   prepare + recommend, write the session snapshot
+//	snapshot restore <path> [budget-pages]            rebuild the session and recommend warm
+//	snapshot inspect <path>                           print version, sections, and cardinalities
+func (s *shell) cmdSnapshot(rest string) error {
+	usage := fmt.Errorf("usage: snapshot save <workload-file> <path> [strategy] | snapshot restore <path> [budget-pages] | snapshot inspect <path>")
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return usage
+	}
+	switch fields[0] {
+	case "save":
+		if len(fields) < 3 || len(fields) > 4 {
+			return usage
+		}
+		strategy := ""
+		if len(fields) == 4 {
+			strategy = fields[3]
+		}
+		return s.snapshotSave(fields[1], fields[2], strategy)
+	case "restore":
+		var budget int64
+		if len(fields) > 3 {
+			return usage
+		}
+		if len(fields) == 3 {
+			v, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad budget: %v", err)
+			}
+			budget = v
+		}
+		return s.snapshotRestore(fields[1], budget)
+	case "inspect":
+		if len(fields) != 2 {
+			return usage
+		}
+		return s.snapshotInspect(fields[1])
+	default:
+		return usage
+	}
+}
+
+// snapshotSave opens a session for the workload, runs one
+// recommendation so the saved cache atoms cover a full search, and
+// writes the snapshot.
+func (s *shell) snapshotSave(workloadFile, path, strategy string) error {
+	text, err := os.ReadFile(workloadFile)
+	if err != nil {
+		return err
+	}
+	w, err := workload.Parse(filepath.Base(workloadFile), string(text))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	adv, err := advisor.New(s.cat, advisor.WithParallelism(s.parallel))
+	if err != nil {
+		return err
+	}
+	sess, err := adv.Open(ctx, w)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	resp, err := sess.Recommend(ctx, advisor.RecommendRequest{Strategy: strategy})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := sess.SnapshotToFile(path); err != nil {
+		return err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "saved %s: %d bytes in %v (%d indexes recommended by %s, %d what-if evaluations cached)\n",
+		path, fi.Size(), time.Since(start).Round(time.Millisecond), len(resp.Indexes), resp.Strategy, resp.Cache.Evaluations)
+	return nil
+}
+
+// snapshotRestore rebuilds the session over the shell's catalog and
+// recommends, printing the warm-start evidence: elapsed restore time
+// and how many what-if evaluations the recommendation issued (zero
+// when the snapshot covered the search).
+func (s *shell) snapshotRestore(path string, budget int64) error {
+	ctx := context.Background()
+	adv, err := advisor.New(s.cat, advisor.WithParallelism(s.parallel))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	sess, err := adv.RestoreFile(ctx, path)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	restoreTime := time.Since(start)
+	resp, err := sess.Recommend(ctx, advisor.RecommendRequest{BudgetPages: budget})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "restored %s in %v (workload %s)\n", path, restoreTime.Round(time.Millisecond), sess.Workload())
+	fmt.Fprint(s.out, resp.Report())
+	fmt.Fprintf(s.out, "warm start: %d what-if evaluations issued by this recommendation\n", resp.Evaluations)
+	return nil
+}
+
+// snapshotInspect prints a snapshot file's framing without restoring
+// it: format version, creation time, workload, per-section payload
+// sizes, and the section cardinalities.
+func (s *shell) snapshotInspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := advisor.InspectSnapshot(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "%s: session snapshot v%d, %d bytes\n", path, info.Version, info.TotalBytes)
+	fmt.Fprintf(s.out, "  created:  %s\n", time.UnixMilli(info.CreatedUnixMS).UTC().Format(time.RFC3339))
+	fmt.Fprintf(s.out, "  workload: %s (%d queries, %d updates)\n", info.WorkloadName, info.Queries, info.Updates)
+	fmt.Fprintf(s.out, "  options:  %s\n", info.OptionsFP)
+	for _, cv := range info.Collections {
+		fmt.Fprintf(s.out, "  collection %s @ stats version %d\n", cv.Name, cv.Version)
+	}
+	fmt.Fprintf(s.out, "  %d patterns, %d candidates (%d basic), %d cache atoms, %d benefit rows\n",
+		info.Patterns, info.Candidates, info.Basics, info.Atoms, info.BenefitRows)
+	fmt.Fprintln(s.out, "  sections:")
+	for _, sec := range info.Sections {
+		fmt.Fprintf(s.out, "    %-9s %8d bytes\n", sec.Section, sec.Bytes)
+	}
+	return nil
 }
 
 func (s *shell) searchTableHeader() {

@@ -18,6 +18,13 @@
 // race portfolio in anytime mode: at the deadline the best
 // configuration any member finished is returned instead of an error.
 //
+// With -snapshot-dir, sessions are durable: idle-evicted sessions and
+// every session open at graceful shutdown are persisted as versioned
+// snapshot files, requests addressing a persisted session ID resume it
+// lazily with its warm what-if cache, and opening a workload that was
+// snapshotted before warm-starts instead of re-running the candidate
+// pipeline.
+//
 // The process is signal-aware: SIGINT/SIGTERM drain in-flight requests
 // via http.Server.Shutdown, bounded by -shutdown-timeout. Exit codes:
 // 0 clean shutdown, 1 setup failure, 2 listen failure, 3 shutdown
@@ -69,6 +76,7 @@ func run(args []string) int {
 	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive costing failures that open the circuit breaker (0 = default)")
 	breakerOpen := fs.Duration("breaker-open", 0, "how long an open breaker rejects before probing (0 = default)")
 	faults := fs.String("faults", "", "inject deterministic costing faults, e.g. seed=7,error=0.1,latency=0.05:3ms (chaos/soak testing)")
+	snapshotDir := fs.String("snapshot-dir", "", "durable sessions: persist session snapshots here on eviction and shutdown, resume lazily by ID (empty = off)")
 	fs.Parse(args)
 
 	// An empty -gen/-load pair is allowed: sessions then fail until
@@ -101,6 +109,9 @@ func run(args []string) int {
 		opts = append(opts, advisor.WithFaultInjection(*faults))
 		log.Printf("xiad: FAULT INJECTION ACTIVE (%s) — this is a chaos/soak configuration", *faults)
 	}
+	if *snapshotDir != "" {
+		opts = append(opts, advisor.WithSnapshotDir(*snapshotDir))
+	}
 	adv, err := advisor.New(catalog.New(st), opts...)
 	if err != nil {
 		log.Println("xiad:", err)
@@ -131,6 +142,9 @@ func run(args []string) int {
 		ln.Addr(), strings.Join(advisor.Strategies(), ", "), adv.Workers())
 	log.Printf("xiad: limits: max-sessions=%d max-inflight=%d session-ttl=%v request-timeout=%v shutdown-timeout=%v",
 		*maxSessions, *maxInFlight, *sessionTTL, *reqTimeout, *shutdownTimeout)
+	if *snapshotDir != "" {
+		log.Printf("xiad: durable sessions: snapshot-dir=%s", *snapshotDir)
+	}
 	ropts := whatif.ResilientOptions{
 		CallTimeout:      *whatifTimeout,
 		MaxRetries:       *whatifRetries,
@@ -165,6 +179,15 @@ func run(args []string) int {
 		log.Println("xiad: shutdown grace expired, closing:", err)
 		httpSrv.Close()
 		return 3
+	}
+	if *snapshotDir != "" {
+		// In-flight requests have drained; persist every open session so
+		// the next process resumes them warm.
+		n, perr := srv.PersistAll()
+		if perr != nil {
+			log.Println("xiad: persisting sessions:", perr)
+		}
+		log.Printf("xiad: persisted %d session(s) to %s", n, *snapshotDir)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Println("xiad: serve:", err)

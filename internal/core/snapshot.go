@@ -1,0 +1,360 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/candidate"
+	"repro/internal/catalog"
+	"repro/internal/pattern"
+	"repro/internal/querylang"
+	"repro/internal/snapshot"
+	"repro/internal/sqltype"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+)
+
+// ErrSnapshotMismatch is the base error of every SnapshotMismatchError:
+// the snapshot decoded cleanly but was taken under advisor options or
+// catalog statistics that differ from this advisor's, so restoring it
+// could not reproduce the original recommendations.
+var ErrSnapshotMismatch = errors.New("core: snapshot does not match this advisor")
+
+// SnapshotMismatchError reports which compatibility check a restore
+// failed. It unwraps to ErrSnapshotMismatch.
+type SnapshotMismatchError struct {
+	// Field names the check ("options", "collection <name>").
+	Field string
+	// Saved and Current are the conflicting values.
+	Saved   string
+	Current string
+}
+
+func (e *SnapshotMismatchError) Error() string {
+	return fmt.Sprintf("core: snapshot does not match this advisor: %s: snapshot has %q, advisor has %q",
+		e.Field, e.Saved, e.Current)
+}
+
+func (e *SnapshotMismatchError) Unwrap() error { return ErrSnapshotMismatch }
+
+// ErrSnapshotInvalid reports a snapshot that passed the codec's
+// structural validation but carries content this advisor cannot
+// materialize (an unparseable pattern, query, or stats blob).
+var ErrSnapshotInvalid = errors.New("core: snapshot content invalid")
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSnapshotInvalid, fmt.Sprintf(format, args...))
+}
+
+// optionsFingerprint renders the advisor options that shape prepared
+// state — candidate source, generalization rules and budgets, and the
+// what-if atom keying mode. Two advisors with equal fingerprints build
+// identical candidate spaces and cache keys for a given workload and
+// catalog, which is exactly what makes a snapshot portable between
+// them. Tuning knobs that do not change prepared state (parallelism,
+// cache sizing, budgets, search strategy) are deliberately excluded.
+func (a *Advisor) optionsFingerprint() string {
+	o := a.opts
+	rules := "none"
+	if o.Generalize {
+		if o.Rules != "" {
+			rules = o.Rules
+		} else {
+			rules = "default"
+			if o.RelaxAxes {
+				rules += "+axis"
+			}
+			if o.IncludeUniversal {
+				rules += "+universal"
+			}
+		}
+	}
+	return fmt.Sprintf("v1|src=%s|rules=%s|minshared=%d|maxcand=%d|noproj=%t",
+		a.candidateSource().Name(), rules, o.MinSharedSteps, o.MaxCandidates, o.NoProjection)
+}
+
+// Save serializes the prepared session's full state — workload,
+// candidate space with containment DAG and coverage, the session's
+// memoized what-if atoms, and the benefit matrix when built — into the
+// versioned snapshot format. A Prepared restored from the output on an
+// advisor with equal options over unchanged collections recommends
+// byte-identically without re-enumeration and with near-zero
+// CostService calls.
+func (p *Prepared) Save(w io.Writer) error {
+	snap, err := p.buildSnapshot()
+	if err != nil {
+		return err
+	}
+	return snapshot.Encode(w, snap)
+}
+
+func (p *Prepared) buildSnapshot() (*snapshot.Snapshot, error) {
+	a := p.a
+	s := &snapshot.Snapshot{
+		Meta: snapshot.Meta{
+			CreatedUnixMS: time.Now().UnixMilli(),
+			WorkloadName:  p.w.Name,
+			OptionsFP:     a.optionsFingerprint(),
+		},
+	}
+	a.verMu.Lock()
+	for _, coll := range p.w.Collections() {
+		v, ok := a.catVersions[coll]
+		if !ok {
+			a.verMu.Unlock()
+			return nil, fmt.Errorf("core: snapshot: no recorded statistics version for collection %q", coll)
+		}
+		s.Meta.Collections = append(s.Meta.Collections, snapshot.CollectionVersion{Name: coll, Version: v})
+	}
+	a.verMu.Unlock()
+
+	for _, e := range p.w.Queries {
+		s.Workload.Queries = append(s.Workload.Queries, snapshot.QueryData{
+			ID: e.Query.ID, Weight: e.Weight, Text: e.Query.Text,
+		})
+	}
+	for _, u := range p.w.Updates {
+		ud := snapshot.UpdateData{
+			Kind: uint8(u.Kind), Collection: u.Collection, Weight: u.Weight, DocXML: u.DocXML,
+		}
+		if u.Path != nil {
+			ud.Path = u.Path.String()
+		}
+		s.Workload.Updates = append(s.Workload.Updates, ud)
+	}
+
+	// Pattern table: first-occurrence order over the candidate space.
+	patID := map[string]uint32{}
+	internPat := func(pt pattern.Pattern) uint32 {
+		key := pt.String()
+		if id, ok := patID[key]; ok {
+			return id
+		}
+		id := uint32(len(s.Patterns))
+		patID[key] = id
+		s.Patterns = append(s.Patterns, key)
+		return id
+	}
+	pos := make(map[*Candidate]int32, len(p.set.All))
+	for i, c := range p.set.All {
+		pos[c] = int32(i)
+	}
+	s.Space.NumQueries = len(p.w.Queries)
+	for _, c := range p.set.All {
+		cd := snapshot.CandidateData{
+			Collection: c.Collection,
+			PatternID:  internPat(c.Pattern),
+			Type:       c.Type.Short(),
+			Basic:      c.Basic,
+			Rule:       c.Rule,
+			DefName:    c.Def.Name,
+			EstEntries: c.Def.EstEntries,
+			EstPages:   c.Def.EstPages,
+			Covers:     c.Covers(),
+		}
+		for _, q := range c.FromQueries {
+			cd.FromQueries = append(cd.FromQueries, int32(q))
+		}
+		for _, ch := range c.Children {
+			cd.Children = append(cd.Children, pos[ch])
+		}
+		s.Space.Candidates = append(s.Space.Candidates, cd)
+	}
+	for _, b := range p.set.Basics {
+		s.Space.Basics = append(s.Space.Basics, pos[b])
+	}
+	statsJSON, err := json.Marshal(p.set.Stats)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot: marshal pipeline stats: %w", err)
+	}
+	s.Space.StatsJSON = statsJSON
+
+	// Only this session's atoms: every key of an evaluation over the
+	// bound workload starts with one of the bound query prefixes.
+	prefixes := map[string]bool{}
+	for _, pre := range p.ev.bound.KeyPrefixes() {
+		prefixes[pre] = true
+	}
+	atoms := a.cost.ExportAtoms(func(key string) bool {
+		i := strings.IndexByte(key, '\x1f')
+		return i >= 0 && prefixes[key[:i+1]]
+	})
+	for _, at := range atoms {
+		s.Atoms = append(s.Atoms, snapshot.Atom{
+			Key:           at.Key,
+			CostNoIndexes: at.Val.CostNoIndexes,
+			Cost:          at.Val.Cost,
+			UsedIndexes:   at.Val.UsedIndexes,
+			PlanDesc:      at.Val.PlanDesc,
+		})
+	}
+
+	if m := p.builtBenefits(); m != nil {
+		b := &snapshot.BenefitsData{NumQueries: m.NumQueries, Private: m.Private, Update: m.Update}
+		for _, row := range m.Rows {
+			var cells []snapshot.BenefitCell
+			for _, e := range row {
+				cells = append(cells, snapshot.BenefitCell{Query: e.Query, Benefit: e.Benefit})
+			}
+			b.Rows = append(b.Rows, cells)
+		}
+		s.Benefits = b
+	}
+	return s, nil
+}
+
+// LoadPrepared restores a Prepared session from a snapshot stream: the
+// candidate space and DAG are rebuilt without enumeration or
+// containment work, the saved what-if atoms are imported into the
+// engine's cache before the evaluator binds (so even the base-cost
+// evaluation is a cache hit), and the benefit matrix is seeded when the
+// snapshot carries one. It fails with the codec's typed errors on bad
+// input, ErrSnapshotMismatch when options or catalog statistics
+// diverged, and ErrSnapshotInvalid when decoded content cannot be
+// materialized.
+func (a *Advisor) LoadPrepared(ctx context.Context, r io.Reader) (*Prepared, error) {
+	snap, err := snapshot.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return a.restorePrepared(ctx, snap)
+}
+
+func (a *Advisor) restorePrepared(ctx context.Context, snap *snapshot.Snapshot) (*Prepared, error) {
+	if fp := a.optionsFingerprint(); snap.Meta.OptionsFP != fp {
+		return nil, &SnapshotMismatchError{Field: "options", Saved: snap.Meta.OptionsFP, Current: fp}
+	}
+	// Catalog statistics must be unchanged: cached costs and size
+	// estimates were computed against these versions.
+	for _, cv := range snap.Meta.Collections {
+		st, err := a.cat.Stats(cv.Name)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot collection %q: %w", cv.Name, err)
+		}
+		if st.Version != cv.Version {
+			return nil, &SnapshotMismatchError{
+				Field:   "collection " + cv.Name,
+				Saved:   fmt.Sprintf("stats version %d", cv.Version),
+				Current: fmt.Sprintf("stats version %d", st.Version),
+			}
+		}
+	}
+
+	w := &workload.Workload{Name: snap.Meta.WorkloadName}
+	for _, q := range snap.Workload.Queries {
+		pq, err := querylang.ParseAuto(q.Text)
+		if err != nil {
+			return nil, invalidf("query %s: %v", q.ID, err)
+		}
+		pq.ID = q.ID
+		w.Queries = append(w.Queries, workload.Entry{Query: pq, Weight: q.Weight})
+	}
+	for i, u := range snap.Workload.Updates {
+		up := workload.Update{
+			Kind: workload.UpdateKind(u.Kind), Collection: u.Collection,
+			Weight: u.Weight, DocXML: u.DocXML,
+		}
+		if u.Kind == uint8(workload.UpdateDelete) {
+			pe, err := xpath.Parse(u.Path)
+			if err != nil {
+				return nil, invalidf("update %d path: %v", i, err)
+			}
+			up.Path = pe
+		}
+		w.Updates = append(w.Updates, up)
+	}
+
+	pats := make([]pattern.Pattern, len(snap.Patterns))
+	for i, ps := range snap.Patterns {
+		pt, err := pattern.Parse(ps)
+		if err != nil {
+			return nil, invalidf("pattern %q: %v", ps, err)
+		}
+		pats[i] = pt
+	}
+
+	all := make([]*Candidate, len(snap.Space.Candidates))
+	children := make([][]int32, len(snap.Space.Candidates))
+	for i, cd := range snap.Space.Candidates {
+		ty, err := sqltype.ParseType(cd.Type)
+		if err != nil {
+			return nil, invalidf("candidate %d type %q: %v", i, cd.Type, err)
+		}
+		pt := pats[cd.PatternID]
+		c := &Candidate{
+			Collection: cd.Collection,
+			Pattern:    pt,
+			Type:       ty,
+			Basic:      cd.Basic,
+			Rule:       cd.Rule,
+			Def: &catalog.IndexDef{
+				Name:       cd.DefName,
+				Collection: cd.Collection,
+				Pattern:    pt,
+				Type:       ty,
+				Virtual:    true,
+				EstEntries: cd.EstEntries,
+				EstPages:   cd.EstPages,
+			},
+		}
+		for _, q := range cd.FromQueries {
+			c.FromQueries = append(c.FromQueries, int(q))
+		}
+		c.SetCovers(cd.Covers)
+		all[i] = c
+		children[i] = cd.Children
+	}
+	var cstats candidate.Stats
+	if len(snap.Space.StatsJSON) > 0 {
+		if err := json.Unmarshal(snap.Space.StatsJSON, &cstats); err != nil {
+			return nil, invalidf("pipeline stats: %v", err)
+		}
+	}
+	set := candidate.AssembleSet(all, snap.Space.Basics, children, cstats)
+
+	// Warm the cache before the evaluator binds: newEvaluator's empty-
+	// configuration base evaluation must already be a hit, so a restore
+	// costs zero CostService calls when the snapshot carries its atoms.
+	atoms := make([]whatif.CachedAtom, len(snap.Atoms))
+	for i, at := range snap.Atoms {
+		atoms[i] = whatif.CachedAtom{Key: at.Key, Val: whatif.QueryEval{
+			CostNoIndexes: at.CostNoIndexes,
+			Cost:          at.Cost,
+			UsedIndexes:   at.UsedIndexes,
+			PlanDesc:      at.PlanDesc,
+		}}
+	}
+	a.cost.ImportAtoms(atoms)
+
+	// Record the verified statistics versions so a later Recommend on
+	// the same collections does not flush the cache we just warmed.
+	a.verMu.Lock()
+	for _, cv := range snap.Meta.Collections {
+		a.catVersions[cv.Name] = cv.Version
+	}
+	a.verMu.Unlock()
+
+	p, err := a.assemble(ctx, w, set)
+	if err != nil {
+		return nil, err
+	}
+	if b := snap.Benefits; b != nil {
+		m := &whatif.BenefitMatrix{NumQueries: b.NumQueries, Private: b.Private, Update: b.Update}
+		m.Rows = make([][]whatif.BenefitEntry, len(b.Rows))
+		for i, row := range b.Rows {
+			var cells []whatif.BenefitEntry
+			for _, cell := range row {
+				cells = append(cells, whatif.BenefitEntry{Query: cell.Query, Benefit: cell.Benefit})
+			}
+			m.Rows[i] = cells
+		}
+		p.seedBenefits(m)
+	}
+	return p, nil
+}

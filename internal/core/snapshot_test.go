@@ -1,0 +1,215 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/snapshot"
+	"repro/internal/store"
+)
+
+// xmarkStoreFixture is xmarkFixture keeping the store, so tests can
+// mutate collections to invalidate statistics versions.
+func xmarkStoreFixture(t testing.TB, docs int) (*store.Store, *catalog.Catalog) {
+	t.Helper()
+	st := store.New()
+	if _, err := datagen.GenerateXMark(st, datagen.XMarkConfig{Docs: docs, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	return st, catalog.New(st)
+}
+
+// renderRec projects a Recommendation onto everything a restored
+// session must reproduce byte-for-byte: configuration, DDL, exact
+// costs, per-query analysis, the candidate space, and the original
+// pipeline stats. Volatile run-local fields (timings, cache counter
+// windows, traces) are deliberately absent.
+func renderRec(t *testing.T, rec *Recommendation) string {
+	t.Helper()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "names=%v\npages=%d\n", rec.Names, rec.TotalPages)
+	for _, ddl := range rec.DDL {
+		fmt.Fprintln(&sb, ddl)
+	}
+	fmt.Fprintf(&sb, "qb=%v uc=%v net=%v\n", rec.QueryBenefit, rec.UpdateCost, rec.NetBenefit)
+	for _, qa := range rec.PerQuery {
+		fmt.Fprintf(&sb, "q %s w=%v c0=%v cr=%v co=%v used=%v\n",
+			qa.ID, qa.Weight, qa.CostNoIndexes, qa.CostRecommended, qa.CostOvertrained, qa.IndexesUsed)
+	}
+	for _, c := range rec.Config {
+		fmt.Fprintf(&sb, "cfg %d %s\n", c.ID, c.Key())
+	}
+	for _, b := range rec.Basics {
+		fmt.Fprintf(&sb, "basic %d %s\n", b.ID, b.Key())
+	}
+	sb.WriteString(rec.DAG.Render())
+	gen, err := json.Marshal(rec.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Write(gen)
+	fmt.Fprintf(&sb, "\nrelevance=%+v\n", rec.Relevance)
+	return sb.String()
+}
+
+func TestPreparedSaveLoadParity(t *testing.T) {
+	_, cat := xmarkStoreFixture(t, 300)
+	ctx := context.Background()
+	w := datagen.XMarkPaperWorkload()
+	strategies := []SearchKind{SearchGreedyHeuristic, SearchTopDown, SearchGreedyBasic}
+
+	a := New(cat, DefaultOptions())
+	p1, err := a.Prepare(ctx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[SearchKind]string{}
+	for _, k := range strategies {
+		rec, err := p1.RecommendWith(ctx, k, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		want[k] = renderRec(t, rec)
+	}
+	m1, err := p1.BenefitMatrix(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := p1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh advisor (cold engine, same catalog and options) restores
+	// and must recommend byte-identically with zero CostService calls.
+	b := New(cat, DefaultOptions())
+	p2, err := b.LoadPrepared(ctx, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalsAfterLoad := b.CostEngine().Stats().Evaluations
+	if evalsAfterLoad != 0 {
+		t.Errorf("restore issued %d CostService calls, want 0 (base costs must come from imported atoms)", evalsAfterLoad)
+	}
+	for _, k := range strategies {
+		rec, err := p2.RecommendWith(ctx, k, 0)
+		if err != nil {
+			t.Fatalf("restored %s: %v", k, err)
+		}
+		if got := renderRec(t, rec); got != want[k] {
+			t.Errorf("%s: restored recommendation differs from original:\n--- original ---\n%s\n--- restored ---\n%s", k, want[k], got)
+		}
+	}
+	if evals := b.CostEngine().Stats().Evaluations; evals != 0 {
+		t.Errorf("restored recommends issued %d CostService calls, want 0 (warm cache)", evals)
+	}
+	m2, err := p2.BenefitMatrix(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Error("restored benefit matrix differs from original")
+	}
+	if evals := b.CostEngine().Stats().Evaluations; evals != 0 {
+		t.Errorf("restored benefit matrix issued %d CostService calls, want 0 (seeded from snapshot)", evals)
+	}
+}
+
+func TestSaveWithoutBenefitMatrixOmitsSection(t *testing.T) {
+	_, cat := xmarkStoreFixture(t, 120)
+	ctx := context.Background()
+	a := New(cat, DefaultOptions())
+	p, err := a.Prepare(ctx, datagen.XMarkPaperWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	info, err := snapshot.Inspect(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.BenefitRows != 0 {
+		t.Error("benefit section present though the matrix was never built")
+	}
+	if info.Atoms == 0 || info.Candidates == 0 {
+		t.Errorf("unexpectedly empty snapshot: %+v", info)
+	}
+	// Restore still works and can build the matrix on demand.
+	b := New(cat, DefaultOptions())
+	p2, err := b.LoadPrepared(ctx, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.BenefitMatrix(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadPreparedOptionsMismatch(t *testing.T) {
+	_, cat := xmarkStoreFixture(t, 120)
+	ctx := context.Background()
+	a := New(cat, DefaultOptions())
+	p, err := a.Prepare(ctx, datagen.XMarkPaperWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Generalize = false
+	b := New(cat, opts)
+	_, err = b.LoadPrepared(ctx, bytes.NewReader(buf.Bytes()))
+	if !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("LoadPrepared = %v, want ErrSnapshotMismatch", err)
+	}
+	var me *SnapshotMismatchError
+	if !errors.As(err, &me) || me.Field != "options" {
+		t.Fatalf("LoadPrepared = %v, want options SnapshotMismatchError", err)
+	}
+}
+
+func TestLoadPreparedStaleCatalog(t *testing.T) {
+	st, cat := xmarkStoreFixture(t, 120)
+	ctx := context.Background()
+	a := New(cat, DefaultOptions())
+	p, err := a.Prepare(ctx, datagen.XMarkPaperWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The collection changes after the save: cached costs are stale.
+	if _, err := st.Get("auction").InsertXML("<site><regions/></site>"); err != nil {
+		t.Fatal(err)
+	}
+	b := New(cat, DefaultOptions())
+	_, err = b.LoadPrepared(ctx, bytes.NewReader(buf.Bytes()))
+	if !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("LoadPrepared = %v, want ErrSnapshotMismatch", err)
+	}
+}
+
+func TestLoadPreparedRejectsGarbage(t *testing.T) {
+	_, cat := xmarkStoreFixture(t, 120)
+	a := New(cat, DefaultOptions())
+	_, err := a.LoadPrepared(context.Background(), strings.NewReader("not a snapshot at all"))
+	if !errors.Is(err, snapshot.ErrNotSnapshot) {
+		t.Fatalf("LoadPrepared = %v, want snapshot.ErrNotSnapshot", err)
+	}
+}

@@ -82,11 +82,13 @@ type Prepared struct {
 	// evaluations — the projection predicates alone decide it).
 	relevance whatif.RelevanceStats
 
-	// benefitOnce guards the lazily built standalone benefit matrix
-	// behind the space's Benefits hook.
-	benefitOnce sync.Once
-	benefits    *whatif.BenefitMatrix
-	benefitErr  error
+	// benefitMu guards the lazily built standalone benefit matrix
+	// behind the space's Benefits hook; benefitsBuilt marks it done
+	// (restore seeds it from a snapshot, Save reads it concurrently).
+	benefitMu     sync.Mutex
+	benefitsBuilt bool
+	benefits      *whatif.BenefitMatrix
+	benefitErr    error
 }
 
 // Prepare runs the candidate pipeline on the workload and binds the
@@ -106,6 +108,14 @@ func (a *Advisor) Prepare(ctx context.Context, w *workload.Workload) (*Prepared,
 	if err != nil {
 		return nil, err
 	}
+	return a.assemble(ctx, w, set)
+}
+
+// assemble binds the what-if evaluator and builds the search space over
+// an already-built candidate set — the tail of Prepare, shared with the
+// snapshot-restore path (which arrives with a deserialized set instead
+// of a pipeline run).
+func (a *Advisor) assemble(ctx context.Context, w *workload.Workload, set *candidate.Set) (*Prepared, error) {
 	ev, err := a.newEvaluator(ctx, w)
 	if err != nil {
 		return nil, err
@@ -159,7 +169,10 @@ func (p *Prepared) RelevanceStats() whatif.RelevanceStats { return p.relevance }
 // decomposed benefit model the CoPhy-style LP strategy seam
 // (search.Space.Benefits) exposes.
 func (p *Prepared) BenefitMatrix(ctx context.Context) (*whatif.BenefitMatrix, error) {
-	p.benefitOnce.Do(func() {
+	p.benefitMu.Lock()
+	defer p.benefitMu.Unlock()
+	if !p.benefitsBuilt {
+		p.benefitsBuilt = true
 		m := &whatif.BenefitMatrix{
 			NumQueries: len(p.w.Queries),
 			Rows:       make([][]whatif.BenefitEntry, len(p.set.All)),
@@ -173,7 +186,7 @@ func (p *Prepared) BenefitMatrix(ctx context.Context) (*whatif.BenefitMatrix, er
 		results, err := p.ev.bound.EvaluateConfigBatch(ctx, configs)
 		if err != nil {
 			p.benefitErr = err
-			return
+			return nil, err
 		}
 		for ci, res := range results {
 			var row []whatif.BenefitEntry
@@ -185,9 +198,32 @@ func (p *Prepared) BenefitMatrix(ctx context.Context) (*whatif.BenefitMatrix, er
 			m.Rows[ci] = row
 		}
 		p.benefits = m
-	})
+	}
 	return p.benefits, p.benefitErr
 }
+
+// builtBenefits returns the benefit matrix only if it has already been
+// built successfully (no what-if calls) — what a snapshot save carries.
+func (p *Prepared) builtBenefits() *whatif.BenefitMatrix {
+	p.benefitMu.Lock()
+	defer p.benefitMu.Unlock()
+	if p.benefitsBuilt && p.benefitErr == nil {
+		return p.benefits
+	}
+	return nil
+}
+
+// seedBenefits installs a restored benefit matrix so the first
+// BenefitMatrix call is free.
+func (p *Prepared) seedBenefits(m *whatif.BenefitMatrix) {
+	p.benefitMu.Lock()
+	p.benefitsBuilt = true
+	p.benefits = m
+	p.benefitMu.Unlock()
+}
+
+// Workload exposes the workload the session was prepared over.
+func (p *Prepared) Workload() *workload.Workload { return p.w }
 
 // Space exposes the prepared search space for direct strategy runs
 // (budget sweeps over Space.WithBudget, custom registered strategies).

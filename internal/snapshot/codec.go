@@ -1,0 +1,658 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// maxSectionBytes caps a single frame's declared payload length. It is
+// a sanity bound on the length field, not an allocation bound — the
+// decoder only ever allocates proportionally to bytes actually present.
+const maxSectionBytes = 1 << 31
+
+// Encode writes the snapshot in the versioned binary format. The output
+// is deterministic: equal Snapshot values produce equal bytes.
+func Encode(w io.Writer, s *Snapshot) error {
+	var hdr [10]byte
+	copy(hdr[:8], Magic)
+	binary.LittleEndian.PutUint16(hdr[8:], Version)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	sections := []struct {
+		id      Section
+		payload []byte
+	}{
+		{SectionMeta, encodeMeta(&s.Meta)},
+		{SectionPatterns, encodePatterns(s.Patterns)},
+		{SectionWorkload, encodeWorkload(&s.Workload)},
+		{SectionSpace, encodeSpace(&s.Space)},
+		{SectionAtoms, encodeAtoms(s.Atoms)},
+	}
+	if s.Benefits != nil {
+		sections = append(sections, struct {
+			id      Section
+			payload []byte
+		}{SectionBenefits, encodeBenefits(s.Benefits)})
+	}
+	for _, sec := range sections {
+		var fh [6]byte
+		binary.LittleEndian.PutUint16(fh[0:], uint16(sec.id))
+		binary.LittleEndian.PutUint32(fh[2:], uint32(len(sec.payload)))
+		if _, err := w.Write(fh[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(sec.payload); err != nil {
+			return err
+		}
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(sec.payload))
+		if _, err := w.Write(crc[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reads and validates a snapshot. It rejects non-snapshot input
+// (ErrNotSnapshot), unknown versions (ErrUnsupportedVersion), and
+// truncated, checksum-failing, misordered, or structurally inconsistent
+// input (ErrCorrupt) — always via typed errors, never a panic, and
+// never allocating more than a small multiple of the input size.
+func Decode(r io.Reader) (*Snapshot, error) {
+	s, _, err := decode(r)
+	return s, err
+}
+
+// Inspect reads the snapshot and summarizes it (format version, frame
+// sizes, element counts) without exposing the full state. It applies
+// the same validation as Decode.
+func Inspect(r io.Reader) (*Info, error) {
+	s, info, err := decode(r)
+	if err != nil {
+		return nil, err
+	}
+	info.CreatedUnixMS = s.Meta.CreatedUnixMS
+	info.WorkloadName = s.Meta.WorkloadName
+	info.OptionsFP = s.Meta.OptionsFP
+	info.Collections = s.Meta.Collections
+	info.Queries = len(s.Workload.Queries)
+	info.Updates = len(s.Workload.Updates)
+	info.Patterns = len(s.Patterns)
+	info.Candidates = len(s.Space.Candidates)
+	info.Basics = len(s.Space.Basics)
+	info.Atoms = len(s.Atoms)
+	if s.Benefits != nil {
+		info.BenefitRows = len(s.Benefits.Rows)
+	}
+	return info, nil
+}
+
+func decode(r io.Reader) (*Snapshot, *Info, error) {
+	var hdr [10]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, ErrNotSnapshot
+	}
+	if string(hdr[:8]) != Magic {
+		return nil, nil, ErrNotSnapshot
+	}
+	if v := binary.LittleEndian.Uint16(hdr[8:]); v != Version {
+		return nil, nil, &VersionError{Got: v}
+	}
+	info := &Info{Version: Version, TotalBytes: int64(len(hdr))}
+	s := &Snapshot{}
+	var last Section
+	seen := map[Section]bool{}
+	for {
+		var fh [6]byte
+		if _, err := io.ReadFull(r, fh[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, nil, &CorruptError{Section: "header", Reason: "truncated frame header"}
+		}
+		id := Section(binary.LittleEndian.Uint16(fh[0:]))
+		n := binary.LittleEndian.Uint32(fh[2:])
+		if id < SectionMeta || id > SectionBenefits {
+			return nil, nil, &CorruptError{Section: id.String(), Reason: "unknown section id"}
+		}
+		if id <= last {
+			if seen[id] {
+				return nil, nil, &CorruptError{Section: id.String(), Reason: "duplicate section"}
+			}
+			return nil, nil, &CorruptError{Section: id.String(), Reason: "sections out of order"}
+		}
+		if uint64(n) > maxSectionBytes {
+			return nil, nil, &CorruptError{Section: id.String(), Reason: "section length out of range"}
+		}
+		payload, err := readPayload(r, int(n))
+		if err != nil {
+			return nil, nil, &CorruptError{Section: id.String(), Reason: "truncated payload"}
+		}
+		var crc [4]byte
+		if _, err := io.ReadFull(r, crc[:]); err != nil {
+			return nil, nil, &CorruptError{Section: id.String(), Reason: "truncated checksum"}
+		}
+		if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(payload) {
+			return nil, nil, &CorruptError{Section: id.String(), Reason: "checksum mismatch"}
+		}
+		d := &dec{b: payload, sec: id}
+		switch id {
+		case SectionMeta:
+			decodeMeta(d, &s.Meta)
+		case SectionPatterns:
+			s.Patterns = decodePatterns(d)
+		case SectionWorkload:
+			decodeWorkload(d, &s.Workload)
+		case SectionSpace:
+			decodeSpace(d, &s.Space, len(s.Patterns))
+		case SectionAtoms:
+			s.Atoms = decodeAtoms(d)
+		case SectionBenefits:
+			s.Benefits = decodeBenefits(d, len(s.Space.Candidates))
+		}
+		if err := d.finish(); err != nil {
+			return nil, nil, err
+		}
+		last = id
+		seen[id] = true
+		info.Sections = append(info.Sections, SectionInfo{Section: id, Bytes: int64(n)})
+		info.TotalBytes += int64(len(fh)) + int64(n) + int64(len(crc))
+	}
+	for _, req := range []Section{SectionMeta, SectionPatterns, SectionWorkload, SectionSpace, SectionAtoms} {
+		if !seen[req] {
+			return nil, nil, &CorruptError{Section: req.String(), Reason: "required section missing"}
+		}
+	}
+	if err := crossValidate(s); err != nil {
+		return nil, nil, err
+	}
+	return s, info, nil
+}
+
+// readPayload reads exactly n bytes, growing the buffer as data
+// arrives so a lying length field on truncated input cannot force a
+// large up-front allocation.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 16
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		next := min(n-len(buf), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, next)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// crossValidate checks the constraints that span sections, so layers
+// above can index freely into a decoded snapshot.
+func crossValidate(s *Snapshot) error {
+	if s.Space.NumQueries != len(s.Workload.Queries) {
+		return &CorruptError{Section: SectionSpace.String(), Reason: "query count disagrees with workload section"}
+	}
+	if b := s.Benefits; b != nil {
+		if b.NumQueries != s.Space.NumQueries {
+			return &CorruptError{Section: SectionBenefits.String(), Reason: "query count disagrees with space section"}
+		}
+	}
+	return nil
+}
+
+// --- section payloads ---
+
+func encodeMeta(m *Meta) []byte {
+	var e enc
+	e.varint(m.CreatedUnixMS)
+	e.str(m.WorkloadName)
+	e.str(m.OptionsFP)
+	e.uvarint(uint64(len(m.Collections)))
+	for _, c := range m.Collections {
+		e.str(c.Name)
+		e.varint(c.Version)
+	}
+	return e.b
+}
+
+func decodeMeta(d *dec, m *Meta) {
+	m.CreatedUnixMS = d.varint()
+	m.WorkloadName = d.str()
+	m.OptionsFP = d.str()
+	n := d.count(2)
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Collections = append(m.Collections, CollectionVersion{Name: d.str(), Version: d.varint()})
+	}
+}
+
+func encodePatterns(pats []string) []byte {
+	var e enc
+	e.uvarint(uint64(len(pats)))
+	for _, p := range pats {
+		e.str(p)
+	}
+	return e.b
+}
+
+func decodePatterns(d *dec) []string {
+	n := d.count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		p := d.str()
+		if p == "" {
+			d.fail("empty pattern")
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func encodeWorkload(w *WorkloadData) []byte {
+	var e enc
+	e.uvarint(uint64(len(w.Queries)))
+	for _, q := range w.Queries {
+		e.str(q.ID)
+		e.f64(q.Weight)
+		e.str(q.Text)
+	}
+	e.uvarint(uint64(len(w.Updates)))
+	for _, u := range w.Updates {
+		e.u8(u.Kind)
+		e.str(u.Collection)
+		e.f64(u.Weight)
+		e.str(u.DocXML)
+		e.str(u.Path)
+	}
+	return e.b
+}
+
+func decodeWorkload(d *dec, w *WorkloadData) {
+	nq := d.count(3)
+	for i := 0; i < nq && d.err == nil; i++ {
+		w.Queries = append(w.Queries, QueryData{ID: d.str(), Weight: d.f64(), Text: d.str()})
+	}
+	nu := d.count(4)
+	for i := 0; i < nu && d.err == nil; i++ {
+		u := UpdateData{Kind: d.u8(), Collection: d.str(), Weight: d.f64(), DocXML: d.str(), Path: d.str()}
+		if u.Kind > 1 {
+			d.fail("unknown update kind")
+			break
+		}
+		w.Updates = append(w.Updates, u)
+	}
+}
+
+func encodeSpace(sp *SpaceData) []byte {
+	var e enc
+	e.uvarint(uint64(sp.NumQueries))
+	e.uvarint(uint64(len(sp.Candidates)))
+	e.i32s(sp.Basics)
+	for _, c := range sp.Candidates {
+		e.str(c.Collection)
+		e.uvarint(uint64(c.PatternID))
+		e.str(c.Type)
+		if c.Basic {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+		e.str(c.Rule)
+		e.str(c.DefName)
+		e.varint(c.EstEntries)
+		e.varint(c.EstPages)
+		e.i32s(c.FromQueries)
+		e.i32s(c.Children)
+		e.i32s(c.Covers)
+	}
+	e.bytes(sp.StatsJSON)
+	return e.b
+}
+
+func decodeSpace(d *dec, sp *SpaceData, numPatterns int) {
+	sp.NumQueries = d.wide()
+	nCand := d.count(8)
+	sp.Basics = d.i32s(nCand, false)
+	if nCand > 0 {
+		sp.Candidates = make([]CandidateData, 0, nCand)
+	}
+	for i := 0; i < nCand && d.err == nil; i++ {
+		c := CandidateData{Collection: d.str()}
+		pid := d.uvarint()
+		if pid >= uint64(numPatterns) {
+			d.fail("candidate pattern id out of range")
+			break
+		}
+		c.PatternID = uint32(pid)
+		c.Type = d.str()
+		c.Basic = d.u8() == 1
+		c.Rule = d.str()
+		c.DefName = d.str()
+		c.EstEntries = d.varint()
+		c.EstPages = d.varint()
+		c.FromQueries = d.i32s(sp.NumQueries, false)
+		c.Children = d.i32s(nCand, false)
+		c.Covers = d.i32s(len(sp.Basics), true)
+		for _, ch := range c.Children {
+			if int(ch) == i {
+				d.fail("candidate is its own DAG child")
+			}
+		}
+		sp.Candidates = append(sp.Candidates, c)
+	}
+	sp.StatsJSON = d.bytes()
+	if d.err == nil && len(sp.StatsJSON) == 0 {
+		sp.StatsJSON = nil
+	}
+}
+
+func encodeAtoms(atoms []Atom) []byte {
+	var e enc
+	e.uvarint(uint64(len(atoms)))
+	for _, a := range atoms {
+		e.str(a.Key)
+		e.f64(a.CostNoIndexes)
+		e.f64(a.Cost)
+		e.uvarint(uint64(len(a.UsedIndexes)))
+		for _, u := range a.UsedIndexes {
+			e.str(u)
+		}
+		e.str(a.PlanDesc)
+	}
+	return e.b
+}
+
+func decodeAtoms(d *dec) []Atom {
+	n := d.count(20)
+	if n == 0 {
+		return nil
+	}
+	out := make([]Atom, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		a := Atom{Key: d.str(), CostNoIndexes: d.f64(), Cost: d.f64()}
+		if a.Key == "" {
+			d.fail("empty atom key")
+			break
+		}
+		nu := d.count(1)
+		for j := 0; j < nu && d.err == nil; j++ {
+			a.UsedIndexes = append(a.UsedIndexes, d.str())
+		}
+		a.PlanDesc = d.str()
+		out = append(out, a)
+	}
+	return out
+}
+
+func encodeBenefits(b *BenefitsData) []byte {
+	var e enc
+	e.uvarint(uint64(b.NumQueries))
+	e.uvarint(uint64(len(b.Rows)))
+	for _, row := range b.Rows {
+		e.uvarint(uint64(len(row)))
+		for _, cell := range row {
+			e.uvarint(uint64(cell.Query))
+			e.f64(cell.Benefit)
+		}
+	}
+	e.f64s(b.Private)
+	e.f64s(b.Update)
+	return e.b
+}
+
+func decodeBenefits(d *dec, nCand int) *BenefitsData {
+	b := &BenefitsData{NumQueries: d.wide()}
+	nRows := d.count(1)
+	if d.err == nil && nRows != nCand {
+		d.fail("row count disagrees with candidate count")
+		return b
+	}
+	if nRows > 0 {
+		b.Rows = make([][]BenefitCell, 0, nRows)
+	}
+	for i := 0; i < nRows && d.err == nil; i++ {
+		nc := d.count(9)
+		var row []BenefitCell
+		prev := int64(-1)
+		for j := 0; j < nc && d.err == nil; j++ {
+			q := d.uvarint()
+			if q >= uint64(b.NumQueries) {
+				d.fail("benefit cell query out of range")
+				break
+			}
+			if int64(q) <= prev {
+				d.fail("benefit cells not strictly ascending")
+				break
+			}
+			prev = int64(q)
+			row = append(row, BenefitCell{Query: int32(q), Benefit: d.f64()})
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	b.Private = d.f64sOpt(nCand)
+	b.Update = d.f64sOpt(nCand)
+	return b
+}
+
+// --- primitive encoding ---
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)       { e.b = append(e.b, v) }
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) f64(v float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+func (e *enc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) bytes(b []byte) {
+	e.uvarint(uint64(len(b)))
+	e.b = append(e.b, b...)
+}
+func (e *enc) i32s(v []int32) {
+	e.uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.varint(int64(x))
+	}
+}
+
+// f64s writes an optional full-length float slice: a presence byte,
+// then the values (the consumer knows the length).
+func (e *enc) f64s(v []float64) {
+	if v == nil {
+		e.u8(0)
+		return
+	}
+	e.u8(1)
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+// --- primitive decoding (sticky-error) ---
+
+type dec struct {
+	b   []byte
+	off int
+	sec Section
+	err error
+}
+
+func (d *dec) fail(reason string) {
+	if d.err == nil {
+		d.err = &CorruptError{Section: d.sec.String(), Reason: reason}
+	}
+}
+
+func (d *dec) rem() int { return len(d.b) - d.off }
+
+func (d *dec) finish() error {
+	if d.err == nil && d.rem() != 0 {
+		d.fail("trailing bytes in section")
+	}
+	return d.err
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.rem() < 1 {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// count reads an element count and bounds it by the bytes remaining in
+// the section (each element needs at least max(1, perElem) bytes), so a
+// corrupt count can never drive an allocation past a small multiple of
+// the input size.
+func (d *dec) count(perElem int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if perElem < 1 {
+		perElem = 1
+	}
+	if v > uint64(d.rem()/perElem)+1 {
+		d.fail("count exceeds section size")
+		return 0
+	}
+	return int(v)
+}
+
+// wide reads a non-count integer (one not backed by per-element bytes
+// in this section, e.g. a cross-section query count) with an absolute
+// sanity bound instead of a remaining-bytes bound.
+func (d *dec) wide() int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > maxSectionBytes {
+		d.fail("integer out of range")
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.rem() < 8 {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *dec) str() string {
+	if d.err != nil {
+		return ""
+	}
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(d.rem()) {
+		d.fail("string length exceeds section size")
+		return ""
+	}
+	v := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return v
+}
+
+func (d *dec) bytes() []byte {
+	if s := d.str(); s != "" {
+		return []byte(s)
+	}
+	return nil
+}
+
+// i32s reads an index list whose every element must lie in [0, limit);
+// ascending additionally requires strictly ascending order.
+func (d *dec) i32s(limit int, ascending bool) []int32 {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int32, 0, n)
+	prev := int64(-1)
+	for i := 0; i < n; i++ {
+		v := d.varint()
+		if d.err != nil {
+			return nil
+		}
+		if v < 0 || v >= int64(limit) {
+			d.fail("index out of range")
+			return nil
+		}
+		if ascending && v <= prev {
+			d.fail("indices not strictly ascending")
+			return nil
+		}
+		prev = v
+		out = append(out, int32(v))
+	}
+	return out
+}
+
+// f64sOpt reads an optional full-length float slice written by
+// enc.f64s.
+func (d *dec) f64sOpt(n int) []float64 {
+	if d.u8() == 0 || d.err != nil {
+		return nil
+	}
+	if uint64(n)*8 > uint64(d.rem()) {
+		d.fail("float list exceeds section size")
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}

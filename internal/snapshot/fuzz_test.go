@@ -1,0 +1,81 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode pins the decoder's safety contract: arbitrary input —
+// including mutations of valid snapshots, which the seed corpus stacks
+// the deck with — must either decode cleanly or fail with one of the
+// typed errors; it must never panic, and anything that decodes must
+// re-encode/re-decode to the same value (so a decoded snapshot is
+// always safely re-saveable). The seeds run under plain `go test`, so
+// CI exercises the corpus on every build.
+func FuzzDecode(f *testing.F) {
+	full := sampleBytes(f)
+	f.Add(full)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(full[:10])          // header only
+	f.Add(full[:len(full)/2]) // mid-frame truncation
+
+	// Version bump.
+	bumped := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint16(bumped[8:], Version+7)
+	f.Add(bumped)
+
+	// Payload corruption (checksum must catch it).
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	f.Add(corrupt)
+
+	// Section id corruption on the first frame (order violation /
+	// unknown id territory).
+	reid := append([]byte(nil), full...)
+	reid[10] = 0x05
+	f.Add(reid)
+
+	// Length-field corruption.
+	relen := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint32(relen[12:], 0xfffffff0)
+	f.Add(relen)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrNotSnapshot) && !errors.Is(err, ErrUnsupportedVersion) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, s); err != nil {
+			t.Fatalf("re-encode of decoded snapshot failed: %v", err)
+		}
+		s2, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded snapshot failed: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := Encode(&buf2, s2); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("decode/encode did not reach a fixed point")
+		}
+		if _, err := Inspect(bytes.NewReader(data)); err != nil {
+			t.Fatalf("Inspect rejected input Decode accepted: %v", err)
+		}
+	})
+}
+
+func sampleBytes(f *testing.F) []byte {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sample()); err != nil {
+		f.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}

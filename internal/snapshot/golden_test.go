@@ -1,0 +1,97 @@
+package snapshot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// golden is a frozen snapshot value committed alongside its encoded
+// bytes in testdata/golden_v1.snap. Do not edit: the fixture pins the
+// version-1 wire format, so any codec change that shifts the bytes (or
+// stops reading old bytes) fails this test instead of silently
+// orphaning snapshots on disk. A deliberate format change must bump
+// Version and add a new fixture, keeping this one decodable.
+func golden() *Snapshot {
+	return &Snapshot{
+		Meta: Meta{
+			CreatedUnixMS: 1754000000000,
+			WorkloadName:  "golden",
+			OptionsFP:     "v1|golden-options",
+			Collections:   []CollectionVersion{{Name: "coll", Version: 3}},
+		},
+		Patterns: []string{"/a/b", "//b/@id"},
+		Workload: WorkloadData{
+			Queries: []QueryData{
+				{ID: "Q1", Weight: 1, Text: "//b"},
+				{ID: "Q2", Weight: 0.5, Text: "/a/b[@id = \"7\"]"},
+			},
+			Updates: []UpdateData{
+				{Kind: 0, Collection: "coll", Weight: 2, DocXML: "<a><b id=\"1\"/></a>"},
+				{Kind: 1, Collection: "coll", Weight: 0.125, Path: "/a/b"},
+			},
+		},
+		Space: SpaceData{
+			NumQueries: 2,
+			Candidates: []CandidateData{
+				{Collection: "coll", PatternID: 0, Type: "VARCHAR", Basic: true,
+					DefName: "XIA_B1", EstEntries: 10, EstPages: 2,
+					FromQueries: []int32{0, 1}, Covers: []int32{0}},
+				{Collection: "coll", PatternID: 1, Type: "DOUBLE", Rule: "leaf",
+					DefName: "XIA_G1", EstEntries: 12, EstPages: 3,
+					Children: []int32{0}, Covers: []int32{0}},
+			},
+			Basics:    []int32{0},
+			StatsJSON: []byte(`{"source":"golden"}`),
+		},
+		Atoms: []Atom{
+			{Key: "deadbeef\x1f", CostNoIndexes: 42, Cost: 42},
+			{Key: "deadbeef\x1f6:XIA_B1|4:coll|/a/b|VARCHAR", CostNoIndexes: 42, Cost: 7,
+				UsedIndexes: []string{"XIA_B1"}, PlanDesc: "IXSCAN"},
+		},
+		Benefits: &BenefitsData{
+			NumQueries: 2,
+			Rows:       [][]BenefitCell{{{Query: 1, Benefit: 17.5}}, nil},
+			Update:     []float64{0.25, 0},
+		},
+	}
+}
+
+const goldenFile = "testdata/golden_v1.snap"
+
+// TestGoldenFixture is the cross-version format smoke: the committed
+// bytes must decode to the frozen value, and encoding the frozen value
+// must reproduce the committed bytes exactly. Regenerate (after a
+// deliberate, version-bumped format change only) with
+// UPDATE_SNAPSHOT_GOLDEN=1 go test ./internal/snapshot.
+func TestGoldenFixture(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, golden()); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if os.Getenv("UPDATE_SNAPSHOT_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenFile, buf.Len())
+	}
+	want, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with UPDATE_SNAPSHOT_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("encoded bytes drifted from committed fixture (%d vs %d bytes): the wire format changed — bump Version and add a new fixture instead", buf.Len(), len(want))
+	}
+	got, err := Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("Decode(committed fixture): %v", err)
+	}
+	if !reflect.DeepEqual(got, golden()) {
+		t.Fatal("committed fixture no longer decodes to the frozen value")
+	}
+}

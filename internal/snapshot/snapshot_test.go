@@ -1,0 +1,292 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sample builds a small but fully populated snapshot exercising every
+// section and every optional field.
+func sample() *Snapshot {
+	return &Snapshot{
+		Meta: Meta{
+			CreatedUnixMS: 1754400000123,
+			WorkloadName:  "xmark-mini",
+			OptionsFP:     "v1|src=optimizer|gen=true|rules=default",
+			Collections: []CollectionVersion{
+				{Name: "xmark", Version: 7},
+				{Name: "tpox", Version: 0},
+			},
+		},
+		Patterns: []string{"/site/regions//item", "//item/@id", "/site/people/person/name"},
+		Workload: WorkloadData{
+			Queries: []QueryData{
+				{ID: "Q1", Weight: 1, Text: "for $i in //item return $i"},
+				{ID: "Q2", Weight: 2.5, Text: "for $p in /site/people/person return $p/name"},
+			},
+			Updates: []UpdateData{
+				{Kind: 0, Collection: "xmark", Weight: 0.5, DocXML: "<item id=\"1\"/>"},
+				{Kind: 1, Collection: "xmark", Weight: 0.25, Path: "/site/regions"},
+			},
+		},
+		Space: SpaceData{
+			NumQueries: 2,
+			Candidates: []CandidateData{
+				{Collection: "xmark", PatternID: 1, Type: "VARCHAR", Basic: true,
+					DefName: "XIA_B1", EstEntries: 1000, EstPages: 12,
+					FromQueries: []int32{0}, Covers: []int32{0}},
+				{Collection: "xmark", PatternID: 2, Type: "VARCHAR", Basic: true,
+					DefName: "XIA_B2", EstEntries: 400, EstPages: 6,
+					FromQueries: []int32{1}, Covers: []int32{1}},
+				{Collection: "xmark", PatternID: 0, Type: "VARCHAR", Rule: "lub",
+					DefName: "XIA_G1", EstEntries: 1500, EstPages: 20,
+					Children: []int32{0}, Covers: []int32{0}},
+			},
+			Basics:    []int32{0, 1},
+			StatsJSON: []byte(`{"source":"optimizer","basic":2}`),
+		},
+		Atoms: []Atom{
+			{Key: "abc123\x1f", CostNoIndexes: 100, Cost: 100},
+			{Key: "abc123\x1f5:XIA_B1|5:xmark|//item/@id|VARCHAR", CostNoIndexes: 100, Cost: 40,
+				UsedIndexes: []string{"XIA_B1"}, PlanDesc: "IXSCAN(XIA_B1)"},
+		},
+		Benefits: &BenefitsData{
+			NumQueries: 2,
+			Rows: [][]BenefitCell{
+				{{Query: 0, Benefit: 60}},
+				{{Query: 0, Benefit: 10}, {Query: 1, Benefit: 5}},
+				nil,
+			},
+			Update: []float64{0, 0.5, 1.25},
+		},
+	}
+}
+
+func encodeBytes(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sample()
+	data := encodeBytes(t, want)
+	got, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Determinism: encoding the decoded value reproduces the bytes.
+	if again := encodeBytes(t, got); !bytes.Equal(again, data) {
+		t.Fatal("Encode is not deterministic across a decode round trip")
+	}
+}
+
+func TestRoundTripMinimal(t *testing.T) {
+	want := &Snapshot{
+		Meta:     Meta{WorkloadName: "empty"},
+		Patterns: []string{"/a"},
+		Workload: WorkloadData{Queries: []QueryData{{ID: "Q1", Weight: 1, Text: "//a"}}},
+		Space:    SpaceData{NumQueries: 1},
+	}
+	got, err := Decode(bytes.NewReader(encodeBytes(t, want)))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeNotSnapshot(t *testing.T) {
+	for _, in := range [][]byte{nil, []byte("x"), []byte("PNG\r\n\x1a\n__"), []byte("XIASNAPX\x01\x00")} {
+		if _, err := Decode(bytes.NewReader(in)); !errors.Is(err, ErrNotSnapshot) {
+			t.Errorf("Decode(%q) = %v, want ErrNotSnapshot", in, err)
+		}
+	}
+}
+
+func TestDecodeUnsupportedVersion(t *testing.T) {
+	data := encodeBytes(t, sample())
+	binary.LittleEndian.PutUint16(data[8:], Version+1)
+	_, err := Decode(bytes.NewReader(data))
+	if !errors.Is(err, ErrUnsupportedVersion) {
+		t.Fatalf("Decode = %v, want ErrUnsupportedVersion", err)
+	}
+	var ve *VersionError
+	if !errors.As(err, &ve) || ve.Got != Version+1 {
+		t.Fatalf("Decode = %v, want *VersionError{Got: %d}", err, Version+1)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	data := encodeBytes(t, sample())
+	// Every proper prefix must fail typed — never panic, never succeed —
+	// except the one boundary that drops exactly the optional benefits
+	// frame, which is a smaller valid snapshot.
+	_, fr := frames(t, data)
+	validCut := len(data) - len(fr[len(fr)-1])
+	for n := 0; n < len(data); n++ {
+		if n == validCut {
+			continue
+		}
+		_, err := Decode(bytes.NewReader(data[:n]))
+		if err == nil {
+			t.Fatalf("Decode of %d/%d-byte prefix succeeded", n, len(data))
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrNotSnapshot) {
+			t.Fatalf("Decode of %d-byte prefix: %v, want typed corrupt error", n, err)
+		}
+	}
+}
+
+func TestDecodeCorruptPayload(t *testing.T) {
+	data := encodeBytes(t, sample())
+	// Flip one byte inside the first section's payload: CRC must catch it.
+	data[10+6+2] ^= 0xff
+	_, err := Decode(bytes.NewReader(data))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decode = %v, want ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Section != "meta" {
+		t.Fatalf("Decode = %v, want meta-section CorruptError", err)
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("error %q does not mention the checksum", err)
+	}
+}
+
+// frames splits an encoded snapshot into its header and raw frames so
+// order/duplication attacks can be reassembled.
+func frames(t *testing.T, data []byte) (hdr []byte, fr [][]byte) {
+	t.Helper()
+	hdr, rest := data[:10], data[10:]
+	for len(rest) > 0 {
+		n := binary.LittleEndian.Uint32(rest[2:])
+		total := 6 + int(n) + 4
+		fr = append(fr, rest[:total])
+		rest = rest[total:]
+	}
+	return hdr, fr
+}
+
+func TestDecodeSectionSwapped(t *testing.T) {
+	hdr, fr := frames(t, encodeBytes(t, sample()))
+	swapped := append([]byte(nil), hdr...)
+	swapped = append(swapped, fr[1]...)
+	swapped = append(swapped, fr[0]...)
+	for _, f := range fr[2:] {
+		swapped = append(swapped, f...)
+	}
+	_, err := Decode(bytes.NewReader(swapped))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decode = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("error %q does not mention section order", err)
+	}
+}
+
+func TestDecodeDuplicateSection(t *testing.T) {
+	hdr, fr := frames(t, encodeBytes(t, sample()))
+	dup := append([]byte(nil), hdr...)
+	for _, f := range fr {
+		dup = append(dup, f...)
+	}
+	dup = append(dup, fr[len(fr)-1]...)
+	if _, err := Decode(bytes.NewReader(dup)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decode = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeMissingSection(t *testing.T) {
+	hdr, fr := frames(t, encodeBytes(t, sample()))
+	missing := append([]byte(nil), hdr...)
+	for i, f := range fr {
+		if i == 2 { // drop the workload section
+			continue
+		}
+		missing = append(missing, f...)
+	}
+	_, err := Decode(bytes.NewReader(missing))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decode = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeBadCrossReference(t *testing.T) {
+	s := sample()
+	s.Space.Candidates[0].PatternID = 99 // no such pattern
+	data := encodeBytes(t, s)
+	if _, err := Decode(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decode = %v, want ErrCorrupt", err)
+	}
+
+	s = sample()
+	s.Space.NumQueries = 3 // disagrees with the workload section
+	data = encodeBytes(t, s)
+	_, err := Decode(bytes.NewReader(data))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decode = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestDecodeLyingCount pins the bounded-allocation guarantee: a section
+// declaring a huge element count over a tiny payload must fail on the
+// count check, not attempt the allocation.
+func TestDecodeLyingCount(t *testing.T) {
+	var payload []byte
+	payload = binary.AppendUvarint(payload, 1<<40) // patterns "count"
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	var v [2]byte
+	binary.LittleEndian.PutUint16(v[:], Version)
+	buf.Write(v[:])
+	var fh [6]byte
+	binary.LittleEndian.PutUint16(fh[0:], uint16(SectionPatterns))
+	binary.LittleEndian.PutUint32(fh[2:], uint32(len(payload)))
+	buf.Write(fh[:])
+	buf.Write(payload)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	buf.Write(crc[:])
+	if _, err := Decode(&buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decode = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	s := sample()
+	data := encodeBytes(t, s)
+	info, err := Inspect(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	if info.Version != Version {
+		t.Errorf("Version = %d, want %d", info.Version, Version)
+	}
+	if info.TotalBytes != int64(len(data)) {
+		t.Errorf("TotalBytes = %d, want %d", info.TotalBytes, len(data))
+	}
+	if len(info.Sections) != 6 {
+		t.Errorf("Sections = %d, want 6", len(info.Sections))
+	}
+	if info.Queries != 2 || info.Updates != 2 || info.Patterns != 3 ||
+		info.Candidates != 3 || info.Basics != 2 || info.Atoms != 2 || info.BenefitRows != 3 {
+		t.Errorf("counts wrong: %+v", info)
+	}
+	if info.WorkloadName != "xmark-mini" || info.OptionsFP == "" {
+		t.Errorf("meta wrong: %+v", info)
+	}
+}

@@ -194,7 +194,7 @@ func (s *FaultService) RelevantFilter(q *querylang.Query) func(*catalog.IndexDef
 // roll returns a deterministic uniform [0,1) draw for (call n, salt).
 func (f *FaultSchedule) roll(n int64, salt uint64) float64 {
 	u := splitmix64(f.Seed ^ (uint64(n)*0x9e3779b97f4a7c15 + salt))
-	return float64(u>>11) / float64(1 << 53)
+	return float64(u>>11) / float64(1<<53)
 }
 
 // EvaluateQuery implements CostService, injecting the scheduled fault
